@@ -1,0 +1,41 @@
+package seprivgemb
+
+import (
+	"seprivgemb/internal/baselines"
+	"seprivgemb/internal/baselines/dpggan"
+	"seprivgemb/internal/baselines/dpgvae"
+	"seprivgemb/internal/baselines/gap"
+	"seprivgemb/internal/baselines/progap"
+)
+
+// Baseline is a competing private graph-embedding method from the paper's
+// evaluation (Section VI-A).
+type Baseline = baselines.Method
+
+// BaselineConfig holds hyperparameters shared by the baseline methods.
+type BaselineConfig = baselines.Config
+
+// DefaultBaselineConfig mirrors the paper's shared settings (r=128, σ=5,
+// δ=1e-5) with baseline-typical optimization defaults.
+func DefaultBaselineConfig() BaselineConfig { return baselines.DefaultConfig() }
+
+// NewDPGGAN returns the DPGGAN baseline (Yang et al., IJCAI 2021): a graph
+// GAN trained with DPSGD on the discriminator.
+func NewDPGGAN() Baseline { return dpggan.New() }
+
+// NewDPGVAE returns the DPGVAE baseline (Yang et al., IJCAI 2021): a graph
+// VAE trained with DPSGD, publishing encoder means.
+func NewDPGVAE() Baseline { return dpgvae.New() }
+
+// NewGAP returns the GAP baseline (Sajadmanesh et al., USENIX Security
+// 2023): noisy multi-hop aggregation of random node features.
+func NewGAP() Baseline { return gap.New() }
+
+// NewProGAP returns the ProGAP baseline (Sajadmanesh & Gatica-Perez, WSDM
+// 2024): progressive staged aggregation with jumping-knowledge combination.
+func NewProGAP() Baseline { return progap.New() }
+
+// Baselines returns all four methods in the paper's presentation order.
+func Baselines() []Baseline {
+	return []Baseline{NewDPGGAN(), NewDPGVAE(), NewGAP(), NewProGAP()}
+}

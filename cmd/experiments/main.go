@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated datasets.
+//
+// Usage:
+//
+//	experiments -exp table2|table3|table4|table5|table6|fig3|fig4|
+//	            ablation-negsampling|ablation-accountant|all
+//	            [-scale 0.1] [-seeds 3] [-epochs 100] [-epochs-lp 400]
+//	            [-baseline-epochs 60] [-dim 64] [-dataset-seed 1]
+//
+// The paper's full protocol corresponds to -scale 1 -seeds 10 -epochs 200
+// -epochs-lp 2000 -dim 128 (budget hours of CPU for the full Figure 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"seprivgemb/internal/experiments"
+)
+
+func main() {
+	var (
+		exp            = flag.String("exp", "all", "experiment id (or 'all')")
+		scale          = flag.Float64("scale", 0.1, "dataset node-count scale")
+		seeds          = flag.Int("seeds", 3, "repetitions per cell")
+		epochs         = flag.Int("epochs", 100, "SE epochs for structural equivalence")
+		epochsLP       = flag.Int("epochs-lp", 400, "SE epochs for link prediction")
+		baselineEpochs = flag.Int("baseline-epochs", 60, "GAN/VAE baseline epochs")
+		dim            = flag.Int("dim", 64, "embedding dimension")
+		datasetSeed    = flag.Uint64("dataset-seed", 1, "seed for dataset simulation")
+	)
+	flag.Parse()
+
+	opt := experiments.Default(os.Stdout)
+	opt.Scale = *scale
+	opt.Seeds = *seeds
+	opt.Epochs = *epochs
+	opt.EpochsLP = *epochsLP
+	opt.BaselineEpochs = *baselineEpochs
+	opt.Dim = *dim
+	opt.DatasetSeed = *datasetSeed
+
+	reg := experiments.Registry()
+	run, ok := reg[*exp]
+	if !ok {
+		ids := make([]string, 0, len(reg))
+		for id := range reg {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q; known: %v\n", *exp, ids)
+		os.Exit(2)
+	}
+	if err := run(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

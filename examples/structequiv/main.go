@@ -1,0 +1,49 @@
+// Structural equivalence with different structure preferences: the
+// scenario the paper's introduction motivates — a data owner chooses the
+// proximity that matches the mining objective, then publishes one private
+// embedding per preference and compares how well each recovers structural
+// equivalence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seprivgemb"
+)
+
+func main() {
+	g, err := seprivgemb.GenerateDataset("power", 0.2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("power-grid simulation: %d nodes, %d edges\n\n", g.NumNodes(), g.NumEdges())
+
+	cfg := seprivgemb.DefaultConfig()
+	cfg.Dim = 64
+	cfg.MaxEpochs = 120
+	cfg.Seed = 11
+	if cfg.BatchSize > g.NumEdges() {
+		cfg.BatchSize = g.NumEdges()
+	}
+
+	// Arbitrary structure preferences plug into the same private trainer —
+	// the property Theorem 3 guarantees. Each measure weighs edges by a
+	// different notion of closeness.
+	fmt.Printf("%-26s%-12s%-10s\n", "structure preference", "StrucEqu", "epochs")
+	for _, name := range []string{"deepwalk", "degree", "common-neighbors", "adamic-adar", "resource-allocation"} {
+		prox, err := seprivgemb.NewProximity(name, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := seprivgemb.Train(g, prox, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		se := seprivgemb.StrucEqu(g, res.Embedding())
+		fmt.Printf("%-26s%-12.4f%-10d\n", name, se, res.Epochs)
+	}
+
+	fmt.Println("\nEvery run satisfies node-level (3.5, 1e-5)-DP; higher StrucEqu")
+	fmt.Println("means the preference recovered more structural equivalence.")
+}

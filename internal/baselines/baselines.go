@@ -1,0 +1,54 @@
+// Package baselines defines the common interface and configuration of the
+// four published competitors the paper evaluates against: DPGGAN and DPGVAE
+// (Yang et al., IJCAI 2021), GAP (Sajadmanesh et al., USENIX Security 2023)
+// and ProGAP (Sajadmanesh & Gatica-Perez, WSDM 2024).
+//
+// These are simplified-faithful Go reimplementations (DESIGN.md §2,
+// substitution 2): each preserves the original's privacy mechanism — where
+// noise is injected and how the budget is spent — on a compact MLP
+// substrate, because those mechanisms are what the paper's comparative
+// discussion attributes the utility rankings to.
+package baselines
+
+import (
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+)
+
+// Config collects the hyperparameters shared by all baseline methods.
+type Config struct {
+	Dim          int     // embedding dimension
+	Epsilon      float64 // privacy budget ε
+	Delta        float64 // failure probability δ
+	Sigma        float64 // DPSGD noise multiplier (GAN/VAE baselines)
+	Epochs       int     // maximum training epochs
+	BatchSize    int     // per-epoch example batch
+	LearningRate float64
+	Clip         float64 // per-example gradient clipping threshold
+	Hops         int     // aggregation hops/stages (GAP and ProGAP)
+	Seed         uint64
+}
+
+// DefaultConfig mirrors the paper's shared evaluation settings where they
+// apply (r=128, σ=5, δ=1e-5) with baseline-typical optimization defaults.
+func DefaultConfig() Config {
+	return Config{
+		Dim:          128,
+		Epsilon:      3.5,
+		Delta:        1e-5,
+		Sigma:        5,
+		Epochs:       200,
+		BatchSize:    64,
+		LearningRate: 0.05,
+		Clip:         1,
+		Hops:         2,
+	}
+}
+
+// Method is a private graph-embedding baseline: it trains on a graph and
+// returns a |V|×Dim embedding matrix whose release satisfies the
+// configured (ε, δ) guarantee under the method's own threat model.
+type Method interface {
+	Name() string
+	Train(g *graph.Graph, cfg Config) (*mathx.Matrix, error)
+}

@@ -1,0 +1,63 @@
+// Package gap implements a simplified-faithful GAP baseline (Sajadmanesh et
+// al., "GAP: Differentially private graph neural networks with aggregation
+// perturbation", USENIX Security 2023). GAP spends its privacy budget by
+// perturbing the output of every neighborhood-aggregation step; as the
+// paper under reproduction notes, "all aggregate outputs need to be
+// re-perturbed at each training iteration", which caps its utility.
+//
+// This implementation keeps that mechanism exactly: random unit-norm node
+// features (the evaluation's input choice) are aggregated for K hops, each
+// hop's row-normalized aggregate is perturbed with Gaussian noise
+// calibrated so the K releases jointly satisfy (ε, δ)-DP, and everything
+// downstream is noise-free post-processing.
+package gap
+
+import (
+	"fmt"
+
+	"seprivgemb/internal/baselines"
+	"seprivgemb/internal/dp"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+// Method is the GAP baseline.
+type Method struct{}
+
+// New returns the baseline.
+func New() *Method { return &Method{} }
+
+// Name implements baselines.Method.
+func (*Method) Name() string { return "GAP" }
+
+// Train implements baselines.Method.
+func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error) {
+	if cfg.Hops < 1 {
+		return nil, fmt.Errorf("gap: hops %d must be >= 1", cfg.Hops)
+	}
+	n := g.NumNodes()
+	rng := xrand.New(cfg.Seed ^ 0x474150) // "GAP"
+	x := baselines.RandomFeatures(n, cfg.Dim, rng)
+
+	// Split the budget across the K perturbed aggregation releases. Row
+	// normalization bounds each node's contribution to any aggregate at 1,
+	// so sensitivity is 1 per release.
+	sigma := dp.CalibrateGaussianSigma(cfg.Epsilon, cfg.Delta, cfg.Hops)
+
+	sum := mathx.NewMatrix(n, cfg.Dim)
+	cur := x
+	for hop := 0; hop < cfg.Hops; hop++ {
+		agg := baselines.AggregateRaw(g, cur, false)
+		baselines.AddRowNoise(agg, sigma, rng)
+		// The released noisy aggregate keeps its raw scale (row norm grows
+		// with degree — the structural signal GAP retains); rows are
+		// re-normalized only to bound the next hop's sensitivity.
+		sum.AddScaled(1, agg)
+		cur = agg.Clone()
+		baselines.NormalizeRows(cur)
+	}
+	// Post-processing: average the hop outputs.
+	mathx.Scale(1/float64(cfg.Hops), sum.Data)
+	return sum, nil
+}

@@ -1,0 +1,85 @@
+// Package progap implements a simplified-faithful ProGAP baseline
+// (Sajadmanesh & Gatica-Perez, "ProGAP: Progressive graph neural networks
+// with differential privacy guarantees", WSDM 2024). ProGAP refines GAP by
+// training progressively: each stage aggregates the previous stage's
+// representation once (with calibrated noise), transforms it, and a
+// jumping-knowledge combination of all stages forms the output. Because
+// each stage reuses the perturbed output of the one before instead of
+// re-aggregating raw features, signal accumulates better per unit of
+// budget, which is why the paper observes ProGAP slightly above GAP.
+package progap
+
+import (
+	"fmt"
+
+	"seprivgemb/internal/baselines"
+	"seprivgemb/internal/dp"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/nn"
+	"seprivgemb/internal/xrand"
+)
+
+// Method is the ProGAP baseline.
+type Method struct{}
+
+// New returns the baseline.
+func New() *Method { return &Method{} }
+
+// Name implements baselines.Method.
+func (*Method) Name() string { return "ProGAP" }
+
+// Train implements baselines.Method.
+func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error) {
+	if cfg.Hops < 1 {
+		return nil, fmt.Errorf("progap: stages %d must be >= 1", cfg.Hops)
+	}
+	n := g.NumNodes()
+	rng := xrand.New(cfg.Seed ^ 0x50524f) // "PRO"
+	x := baselines.RandomFeatures(n, cfg.Dim, rng)
+
+	// One noisy aggregation release per stage.
+	sigma := dp.CalibrateGaussianSigma(cfg.Epsilon, cfg.Delta, cfg.Hops)
+
+	// Jumping-knowledge accumulator over the noisy stage releases.
+	jk := mathx.NewMatrix(n, cfg.Dim)
+	cur := x
+	for stage := 0; stage < cfg.Hops; stage++ {
+		// Aggregate with self-loops so each stage refines rather than
+		// replaces its input, then release with calibrated noise. The raw
+		// (unnormalized) release keeps the degree-scaled signal; only the
+		// next stage's input is renormalized for sensitivity.
+		agg := baselines.AggregateRaw(g, cur, true)
+		baselines.AddRowNoise(agg, sigma, rng)
+		jk.AddScaled(1, agg)
+		// Stage transformation: a fixed random expansion + tanh, the
+		// training-free stand-in for the stage's learned module (applied to
+		// already-private data: pure post-processing).
+		cur = transform(agg, rng.Split())
+	}
+	mathx.Scale(1/float64(cfg.Hops), jk.Data)
+	return jk, nil
+}
+
+// transform applies a per-stage random square projection with a tanh
+// nonlinearity, row-normalized.
+func transform(x *mathx.Matrix, rng *xrand.RNG) *mathx.Matrix {
+	dim := x.Cols
+	w := mathx.NewMatrix(dim, dim)
+	rng.NormalVec(w.Data, 1/float64(dim))
+	// Blend identity to retain aggregation signal through the stage.
+	for d := 0; d < dim; d++ {
+		w.Data[d*dim+d] += 1
+	}
+	out := mathx.NewMatrix(x.Rows, dim)
+	tmp := make([]float64, dim)
+	for i := 0; i < x.Rows; i++ {
+		w.MulVec(tmp, x.Row(i))
+		dst := out.Row(i)
+		for d := range tmp {
+			dst[d] = nn.Tanh.Apply(tmp[d])
+		}
+	}
+	baselines.NormalizeRows(out)
+	return out
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/xrand"
+)
+
+func smallGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.BarabasiAlbert(60, 2, xrand.New(42))
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.BatchSize = 32
+	cfg.MaxEpochs = 30
+	cfg.Seed = 1
+	return cfg
+}
+
+func TestTrainNonPrivateLossDecreases(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.Private = false
+	cfg.Clip = 0
+	cfg.MaxEpochs = 120
+	res, err := Train(g, proximity.NewDeepWalk(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 120 {
+		t.Fatalf("epochs = %d, want 120", res.Epochs)
+	}
+	head := mathx.Mean(res.LossHistory[:20])
+	tail := mathx.Mean(res.LossHistory[len(res.LossHistory)-20:])
+	if tail >= head {
+		t.Errorf("loss did not decrease: head %g, tail %g", head, tail)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	a, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Model.Win.Data {
+		if a.Model.Win.Data[i] != b.Model.Win.Data[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+	cfg.Seed = 2
+	c, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Model.Win.Data {
+		if a.Model.Win.Data[i] != c.Model.Win.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical embeddings")
+	}
+}
+
+func TestTrainPrivateAccountsBudget(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	res, err := Train(g, proximity.NewDeepWalk(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpsilonSpent <= 0 {
+		t.Errorf("EpsilonSpent = %g, want positive", res.EpsilonSpent)
+	}
+	if res.DeltaSpent <= 0 || res.DeltaSpent >= 1 {
+		t.Errorf("DeltaSpent = %g, want in (0,1)", res.DeltaSpent)
+	}
+}
+
+func TestTrainStopsOnBudget(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.Sigma = 0.6    // very little noise: budget burns fast
+	cfg.Epsilon = 0.05 // tiny target
+	cfg.MaxEpochs = 5000
+	res, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.StoppedByBudget {
+		t.Fatalf("training ran all %d epochs without exhausting ε=%g, δ̂=%g",
+			res.Epochs, cfg.Epsilon, res.DeltaSpent)
+	}
+	if res.Epochs >= cfg.MaxEpochs {
+		t.Errorf("stopped flag set but all epochs ran")
+	}
+	if res.DeltaSpent < cfg.Delta {
+		t.Errorf("stopped with δ̂=%g below budget δ=%g", res.DeltaSpent, cfg.Delta)
+	}
+}
+
+func TestTrainBudgetMonotoneInEpochs(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.MaxEpochs = 10
+	short, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxEpochs = 40
+	long, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.EpsilonSpent <= short.EpsilonSpent {
+		t.Errorf("ε did not grow with epochs: %g (40) vs %g (10)",
+			long.EpsilonSpent, short.EpsilonSpent)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	g := smallGraph(t)
+	prox := proximity.NewDegree(g)
+	bad := []func(*Config){
+		func(c *Config) { c.Dim = 0 },
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.BatchSize = g.NumEdges() + 1 },
+		func(c *Config) { c.MaxEpochs = 0 },
+		func(c *Config) { c.LearningRate = 0 },
+		func(c *Config) { c.Clip = 0 },
+		func(c *Config) { c.Sigma = 0 },
+		func(c *Config) { c.Epsilon = 0 },
+		func(c *Config) { c.Delta = 0 },
+		func(c *Config) { c.Delta = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Train(g, prox, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	empty := graph.NewBuilder(3).Build()
+	if _, err := Train(empty, proximity.NewDegree(empty), smallConfig()); err == nil {
+		t.Error("edgeless graph accepted")
+	}
+}
+
+func TestApplyUpdateNonZeroTouchesOnlyAccumulatedRows(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Strategy = StrategyNonZero
+	w := mathx.NewMatrix(10, cfg.Dim)
+	orig := w.Clone()
+	acc := newRowAccumulator(cfg.Dim)
+	gvec := make([]float64, cfg.Dim)
+	gvec[0] = 1
+	acc.add(3, gvec)
+	applyUpdate(w, acc, cfg, xrand.New(5))
+	for r := 0; r < 10; r++ {
+		changed := false
+		for d := 0; d < cfg.Dim; d++ {
+			if w.At(r, d) != orig.At(r, d) {
+				changed = true
+			}
+		}
+		if r == 3 && !changed {
+			t.Error("accumulated row 3 not updated")
+		}
+		if r != 3 && changed {
+			t.Errorf("non-zero strategy perturbed untouched row %d", r)
+		}
+	}
+}
+
+func TestApplyUpdateNaiveTouchesAllRows(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Strategy = StrategyNaive
+	w := mathx.NewMatrix(10, cfg.Dim)
+	orig := w.Clone()
+	acc := newRowAccumulator(cfg.Dim)
+	applyUpdate(w, acc, cfg, xrand.New(6))
+	for r := 0; r < 10; r++ {
+		changed := false
+		for d := 0; d < cfg.Dim; d++ {
+			if w.At(r, d) != orig.At(r, d) {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Errorf("naive strategy left row %d unperturbed", r)
+		}
+	}
+}
+
+func TestApplyUpdateNoiseScales(t *testing.T) {
+	// Non-zero noise per coordinate has sd = η·C·σ (per-row sensitivity C);
+	// naive has sd B times larger (worst-case sensitivity B·C). Verify
+	// empirically on zero gradients.
+	cfg := smallConfig()
+	cfg.Dim = 2000 // plenty of coordinates for a tight estimate
+	estimate := func(strategy Strategy) float64 {
+		c := cfg
+		c.Strategy = strategy
+		w := mathx.NewMatrix(2, c.Dim)
+		acc := newRowAccumulator(c.Dim)
+		acc.add(0, make([]float64, c.Dim)) // row 0 touched with zero grad
+		applyUpdate(w, acc, c, xrand.New(9))
+		return mathx.StdDev(w.Row(0))
+	}
+	wantNonZero := cfg.LearningRate * cfg.Clip * cfg.Sigma
+	gotNonZero := estimate(StrategyNonZero)
+	if math.Abs(gotNonZero-wantNonZero)/wantNonZero > 0.1 {
+		t.Errorf("non-zero noise sd = %g, want approx %g", gotNonZero, wantNonZero)
+	}
+	wantNaive := wantNonZero * float64(cfg.BatchSize)
+	gotNaive := estimate(StrategyNaive)
+	if math.Abs(gotNaive-wantNaive)/wantNaive > 0.1 {
+		t.Errorf("naive noise sd = %g, want approx %g", gotNaive, wantNaive)
+	}
+}
+
+func TestClipJoint(t *testing.T) {
+	rows := [][]float64{{3, 0}, {0, 4}} // joint norm 5
+	clipJoint(rows, 1)
+	var sq float64
+	for _, r := range rows {
+		sq += mathx.Norm2Sq(r)
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-12 {
+		t.Errorf("joint norm after clip = %g, want 1", math.Sqrt(sq))
+	}
+	// Direction preserved: ratio 3:4 across rows.
+	if math.Abs(rows[0][0]/rows[1][1]-0.75) > 1e-12 {
+		t.Errorf("clip distorted direction: %v", rows)
+	}
+	// Under threshold: untouched.
+	small := [][]float64{{0.1, 0}, {0, 0.1}}
+	clipJoint(small, 1)
+	if small[0][0] != 0.1 {
+		t.Error("clipJoint modified a small gradient")
+	}
+}
+
+func TestRowAccumulator(t *testing.T) {
+	acc := newRowAccumulator(3)
+	acc.add(1, []float64{1, 2, 3})
+	acc.add(1, []float64{1, 1, 1})
+	acc.add(5, []float64{9, 0, 0})
+	if got := acc.rows[1]; got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Errorf("row 1 accumulated to %v", got)
+	}
+	acc.reset()
+	if len(acc.rows) != 0 {
+		t.Error("reset left rows behind")
+	}
+	// Pool reuse must hand back zeroed vectors.
+	acc.add(2, []float64{1, 1, 1})
+	if got := acc.rows[2]; got[0] != 1 {
+		t.Errorf("pooled vector not zeroed: %v", got)
+	}
+}
+
+func TestTrainEmbeddingAccessor(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.MaxEpochs = 2
+	res, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Embedding() != res.Model.Win {
+		t.Error("Embedding() should return Win")
+	}
+	if res.Embedding().Rows != g.NumNodes() || res.Embedding().Cols != cfg.Dim {
+		t.Error("embedding shape wrong")
+	}
+}
+
+func TestTrainNaiveStrategyRuns(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.Strategy = StrategyNaive
+	cfg.MaxEpochs = 5
+	res, err := Train(g, proximity.NewDeepWalk(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 5 {
+		t.Errorf("epochs = %d", res.Epochs)
+	}
+	for _, v := range res.Model.Win.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("naive training produced non-finite embeddings")
+		}
+	}
+}

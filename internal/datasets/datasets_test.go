@@ -1,0 +1,124 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNamesAndSpecs(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("want 6 datasets, got %d", len(names))
+	}
+	for _, n := range names {
+		s, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Nodes <= 0 || s.Edges <= 0 || s.Class == "" {
+			t.Errorf("spec %q incomplete: %+v", n, s)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	wants := map[string][2]int{
+		"chameleon":   {2277, 31421},
+		"ppi":         {3890, 76584},
+		"power":       {4941, 6594},
+		"arxiv":       {5242, 14496},
+		"blogcatalog": {10312, 333983},
+		"dblp":        {2244021, 4354534},
+	}
+	for name, want := range wants {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Nodes != want[0] || s.Edges != want[1] {
+			t.Errorf("%s: spec (%d, %d), paper (%d, %d)",
+				name, s.Nodes, s.Edges, want[0], want[1])
+		}
+	}
+}
+
+func TestGenerateDensityMatchesSpec(t *testing.T) {
+	// At reduced scale the simulated mean degree should approximate the
+	// real dataset's.
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		scale := 0.1
+		if name == "dblp" {
+			scale = 0.005
+		}
+		g, err := Generate(name, scale, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantDeg := 2 * float64(spec.Edges) / float64(spec.Nodes)
+		gotDeg := g.MeanDegree()
+		if math.Abs(gotDeg-wantDeg)/wantDeg > 0.35 {
+			t.Errorf("%s: mean degree %g, spec %g", name, gotDeg, wantDeg)
+		}
+		wantNodes := int(float64(spec.Nodes) * scale)
+		if math.Abs(float64(g.NumNodes()-wantNodes))/float64(wantNodes) > 0.05 {
+			t.Errorf("%s: nodes %d, want about %d", name, g.NumNodes(), wantNodes)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("chameleon", 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("chameleon", 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("edge lists differ for the same seed")
+		}
+	}
+}
+
+func TestGenerateSeedsIndependentAcrossNames(t *testing.T) {
+	a, err := Generate("chameleon", 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Generate("blogcatalog", 0.05, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() == c.NumNodes() && a.NumEdges() == c.NumEdges() {
+		t.Error("different datasets produced suspiciously identical graphs")
+	}
+}
+
+func TestGenerateDefaultScaleDBLP(t *testing.T) {
+	g, err := Generate("dblp", 0, 1) // default scale 0.01
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() > 30000 {
+		t.Errorf("default-scale dblp has %d nodes; default scale not applied", g.NumNodes())
+	}
+}
+
+func TestGenerateMinimumSize(t *testing.T) {
+	g, err := Generate("power", 0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 16 {
+		t.Errorf("scale floor violated: %d nodes", g.NumNodes())
+	}
+}

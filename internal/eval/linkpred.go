@@ -1,0 +1,137 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/xrand"
+)
+
+// LinkSplit is the link-prediction protocol of Section VI-A: existing edges
+// split into a training graph and held-out positive test links, plus an
+// equal number of non-edges as negative test links (and negative training
+// pairs, for methods that want them).
+type LinkSplit struct {
+	Train    *graph.Graph
+	TestPos  []graph.Edge
+	TestNeg  []graph.Edge
+	TrainNeg []graph.Edge
+}
+
+// SplitLinkPrediction removes a testFrac fraction of edges (the paper uses
+// 0.10) as positive test links and samples matching negatives. Both
+// negative sets avoid all original edges.
+func SplitLinkPrediction(g *graph.Graph, testFrac float64, rng *xrand.RNG) (*LinkSplit, error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, fmt.Errorf("eval: test fraction %g outside (0, 1)", testFrac)
+	}
+	m := g.NumEdges()
+	nTest := int(testFrac * float64(m))
+	if nTest < 1 {
+		return nil, fmt.Errorf("eval: graph with %d edges too small for a %g split", m, testFrac)
+	}
+	idx := rng.SampleWithoutReplacement(m, nTest)
+	testPos := make([]graph.Edge, 0, nTest)
+	for _, i := range idx {
+		testPos = append(testPos, g.Edge(i))
+	}
+	train := g.RemoveEdges(testPos)
+
+	sampleNegatives := func(count int) ([]graph.Edge, error) {
+		n := g.NumNodes()
+		maxPairs := n * (n - 1) / 2
+		if m+count > maxPairs {
+			return nil, fmt.Errorf("eval: not enough non-edges for %d negatives", count)
+		}
+		out := make([]graph.Edge, 0, count)
+		seen := make(map[graph.Edge]struct{}, count)
+		for len(out) < count {
+			u := rng.Intn(n)
+			v := rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			e := graph.Edge{U: int32(u), V: int32(v)}
+			if g.HasEdge(u, v) {
+				continue
+			}
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
+			out = append(out, e)
+		}
+		return out, nil
+	}
+	testNeg, err := sampleNegatives(nTest)
+	if err != nil {
+		return nil, err
+	}
+	trainNeg, err := sampleNegatives(train.NumEdges())
+	if err != nil {
+		return nil, err
+	}
+	return &LinkSplit{Train: train, TestPos: testPos, TestNeg: testNeg, TrainNeg: trainNeg}, nil
+}
+
+// AUC returns the area under the ROC curve for the given positive and
+// negative example scores: the probability that a random positive outranks
+// a random negative, with ties counted half (Mann–Whitney U). It returns
+// 0.5 when either class is empty.
+func AUC(pos, neg []float64) float64 {
+	if len(pos) == 0 || len(neg) == 0 {
+		return 0.5
+	}
+	type scored struct {
+		s   float64
+		pos bool
+	}
+	all := make([]scored, 0, len(pos)+len(neg))
+	for _, s := range pos {
+		all = append(all, scored{s, true})
+	}
+	for _, s := range neg {
+		all = append(all, scored{s, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	// Average ranks over tie groups, then U = Σ ranks(pos) − n₊(n₊+1)/2.
+	var rankSumPos float64
+	i := 0
+	for i < len(all) {
+		j := i
+		for j < len(all) && all[j].s == all[i].s {
+			j++
+		}
+		avgRank := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			if all[k].pos {
+				rankSumPos += avgRank
+			}
+		}
+		i = j
+	}
+	np, nn := float64(len(pos)), float64(len(neg))
+	u := rankSumPos - np*(np+1)/2
+	return u / (np * nn)
+}
+
+// Scorer scores a candidate link (u, v); higher means more likely present.
+type Scorer func(u, v int) float64
+
+// LinkAUC applies the scorer to the split's held-out positives and
+// negatives and returns the ROC AUC.
+func LinkAUC(split *LinkSplit, score Scorer) float64 {
+	pos := make([]float64, len(split.TestPos))
+	for i, e := range split.TestPos {
+		pos[i] = score(int(e.U), int(e.V))
+	}
+	neg := make([]float64, len(split.TestNeg))
+	for i, e := range split.TestNeg {
+		neg[i] = score(int(e.U), int(e.V))
+	}
+	return AUC(pos, neg)
+}

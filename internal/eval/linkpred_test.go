@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/xrand"
+)
+
+func TestAUCExtremes(t *testing.T) {
+	if got := AUC([]float64{3, 4, 5}, []float64{0, 1, 2}); got != 1 {
+		t.Errorf("perfect separation AUC = %g, want 1", got)
+	}
+	if got := AUC([]float64{0, 1}, []float64{5, 6}); got != 0 {
+		t.Errorf("reversed separation AUC = %g, want 0", got)
+	}
+	if got := AUC([]float64{1, 1}, []float64{1, 1}); got != 0.5 {
+		t.Errorf("all-ties AUC = %g, want 0.5", got)
+	}
+	if got := AUC(nil, []float64{1}); got != 0.5 {
+		t.Errorf("empty positives AUC = %g, want 0.5", got)
+	}
+}
+
+func TestAUCManual(t *testing.T) {
+	// pos {2, 4}, neg {1, 3}: pairs (2>1), (2<3), (4>1), (4>3) -> 3/4.
+	if got := AUC([]float64{2, 4}, []float64{1, 3}); got != 0.75 {
+		t.Errorf("AUC = %g, want 0.75", got)
+	}
+	// With a tie: pos {2}, neg {2}: tie counts half.
+	if got := AUC([]float64{2}, []float64{2}); got != 0.5 {
+		t.Errorf("tied AUC = %g, want 0.5", got)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	r := xrand.New(11)
+	pos := make([]float64, 3000)
+	neg := make([]float64, 3000)
+	for i := range pos {
+		pos[i] = r.Float64()
+		neg[i] = r.Float64()
+	}
+	if got := AUC(pos, neg); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("random AUC = %g, want near 0.5", got)
+	}
+}
+
+func TestSplitLinkPrediction(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 4, xrand.New(12))
+	split, err := SplitLinkPrediction(g, 0.1, xrand.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTest := int(0.1 * float64(g.NumEdges()))
+	if len(split.TestPos) != nTest {
+		t.Errorf("test positives = %d, want %d", len(split.TestPos), nTest)
+	}
+	if len(split.TestNeg) != nTest {
+		t.Errorf("test negatives = %d, want %d", len(split.TestNeg), nTest)
+	}
+	if split.Train.NumEdges() != g.NumEdges()-nTest {
+		t.Errorf("train edges = %d, want %d", split.Train.NumEdges(), g.NumEdges()-nTest)
+	}
+	if len(split.TrainNeg) != split.Train.NumEdges() {
+		t.Errorf("train negatives = %d, want %d", len(split.TrainNeg), split.Train.NumEdges())
+	}
+	for _, e := range split.TestPos {
+		if !g.HasEdge(int(e.U), int(e.V)) {
+			t.Fatal("test positive is not an original edge")
+		}
+		if split.Train.HasEdge(int(e.U), int(e.V)) {
+			t.Fatal("test positive leaked into the training graph")
+		}
+	}
+	for _, e := range append(append([]graph.Edge{}, split.TestNeg...), split.TrainNeg...) {
+		if g.HasEdge(int(e.U), int(e.V)) {
+			t.Fatal("negative sample collides with an original edge")
+		}
+		if e.U == e.V {
+			t.Fatal("negative sample is a self pair")
+		}
+	}
+}
+
+func TestSplitLinkPredictionErrors(t *testing.T) {
+	g := graph.BarabasiAlbert(50, 2, xrand.New(14))
+	if _, err := SplitLinkPrediction(g, 0, xrand.New(1)); err == nil {
+		t.Error("fraction 0 accepted")
+	}
+	if _, err := SplitLinkPrediction(g, 1, xrand.New(1)); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	tiny := graph.NewBuilder(3)
+	_ = tiny.AddEdge(0, 1)
+	if _, err := SplitLinkPrediction(tiny.Build(), 0.1, xrand.New(1)); err == nil {
+		t.Error("too-small graph accepted")
+	}
+}
+
+func TestLinkAUCWithOracle(t *testing.T) {
+	// An oracle that scores original edges 1 and non-edges 0 must reach
+	// AUC 1 on any split.
+	g := graph.BarabasiAlbert(150, 3, xrand.New(15))
+	split, err := SplitLinkPrediction(g, 0.1, xrand.New(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := func(u, v int) float64 {
+		if g.HasEdge(u, v) {
+			return 1
+		}
+		return 0
+	}
+	if got := LinkAUC(split, oracle); got != 1 {
+		t.Errorf("oracle AUC = %g, want 1", got)
+	}
+	anti := func(u, v int) float64 { return -oracle(u, v) }
+	if got := LinkAUC(split, anti); got != 0 {
+		t.Errorf("anti-oracle AUC = %g, want 0", got)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, xrand.New(17))
+	a, err := SplitLinkPrediction(g, 0.1, xrand.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SplitLinkPrediction(g, 0.1, xrand.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.TestPos {
+		if a.TestPos[i] != b.TestPos[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}

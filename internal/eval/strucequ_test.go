@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+// adjacencyEmbedding builds the |V|-dimensional embedding whose rows are
+// the adjacency rows themselves — the perfect structural-equivalence
+// embedding by construction.
+func adjacencyEmbedding(g *graph.Graph) *mathx.Matrix {
+	n := g.NumNodes()
+	m := mathx.NewMatrix(n, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(u) {
+			m.Set(u, int(v), 1)
+		}
+	}
+	return m
+}
+
+func TestStrucEquPerfectEmbedding(t *testing.T) {
+	g := graph.ErdosRenyi(40, 120, xrand.New(1))
+	if got := StrucEqu(g, adjacencyEmbedding(g)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("StrucEqu of adjacency embedding = %g, want 1", got)
+	}
+}
+
+func TestStrucEquClosedFormMatchesExplicit(t *testing.T) {
+	// The d_i + d_j − 2CN identity must reproduce explicit row distances.
+	g := graph.ErdosRenyi(25, 60, xrand.New(2))
+	emb := adjacencyEmbedding(g)
+	for i := 0; i < g.NumNodes(); i++ {
+		for j := i + 1; j < g.NumNodes(); j++ {
+			explicit := mathx.EuclideanDistance(emb.Row(i), emb.Row(j))
+			sq := float64(g.Degree(i)) + float64(g.Degree(j)) -
+				2*float64(g.CommonNeighbors(i, j))
+			if math.Abs(explicit-math.Sqrt(sq)) > 1e-9 {
+				t.Fatalf("closed form mismatch at (%d,%d): %g vs %g",
+					i, j, math.Sqrt(sq), explicit)
+			}
+		}
+	}
+}
+
+func TestStrucEquRandomEmbeddingNearZero(t *testing.T) {
+	g := graph.ErdosRenyi(60, 200, xrand.New(3))
+	emb := mathx.NewMatrix(g.NumNodes(), 16)
+	r := xrand.New(4)
+	r.NormalVec(emb.Data, 1)
+	got := StrucEqu(g, emb)
+	if math.Abs(got) > 0.25 {
+		t.Errorf("StrucEqu of random embedding = %g, want near 0", got)
+	}
+}
+
+func TestStrucEquSampledApproximatesExact(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 3, xrand.New(5))
+	emb := adjacencyEmbedding(g)
+	exact := StrucEqu(g, emb)
+	sampled := StrucEquSampled(g, emb, 2000, xrand.New(6))
+	if math.Abs(exact-sampled) > 0.05 {
+		t.Errorf("sampled %g deviates from exact %g", sampled, exact)
+	}
+	// Requesting more pairs than exist must fall back to exact.
+	if got := StrucEquSampled(g, emb, 1<<30, xrand.New(7)); got != exact {
+		t.Errorf("oversampled StrucEqu = %g, want exact %g", got, exact)
+	}
+}
+
+func TestStrucEquPanics(t *testing.T) {
+	g := graph.ErdosRenyi(10, 20, xrand.New(8))
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("row mismatch", func() { StrucEqu(g, mathx.NewMatrix(5, 4)) })
+	mustPanic("zero pairs", func() {
+		StrucEquSampled(g, mathx.NewMatrix(10, 4), 0, xrand.New(1))
+	})
+}

@@ -1,0 +1,187 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) on the simulated datasets: Tables II–V (parameter
+// studies), Table VI (perturbation strategies), Figure 3 (structural
+// equivalence vs ε) and Figure 4 (link prediction vs ε), plus two ablations
+// motivated by DESIGN.md (negative-sampling design and accountant choice).
+//
+// The same runners back cmd/experiments (full sweeps) and the root-level
+// benchmarks (quick single-seed versions), so the printed rows always come
+// from the code paths under test.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"seprivgemb/internal/baselines"
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/datasets"
+	"seprivgemb/internal/eval"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/xrand"
+)
+
+// Options controls the fidelity/runtime trade-off of a sweep. The paper's
+// full settings (Scale=1, Seeds=10, Epochs=200, EpochsLP=2000, Dim=128) are
+// reachable through cmd/experiments flags; defaults are sized to finish a
+// full regeneration in minutes on a laptop.
+type Options struct {
+	Scale          float64 // dataset node-count multiplier
+	Seeds          int     // repetitions; rows report mean ± sample SD
+	Epochs         int     // SE-PrivGEmb epochs for structural equivalence
+	EpochsLP       int     // SE-PrivGEmb epochs for link prediction
+	BaselineEpochs int     // GAN/VAE baseline epochs
+	Dim            int     // embedding dimension
+	MaxExactPairs  int     // switch StrucEqu to sampling above this |V|
+	SamplePairs    int     // pair sample size for large graphs
+	DatasetSeed    uint64  // seed for dataset simulation
+	Out            io.Writer
+}
+
+// Default returns harness settings that regenerate every experiment at
+// reduced scale in minutes.
+func Default(out io.Writer) Options {
+	return Options{
+		Scale:          0.1,
+		Seeds:          3,
+		Epochs:         100,
+		EpochsLP:       400,
+		BaselineEpochs: 60,
+		Dim:            64,
+		MaxExactPairs:  3000,
+		SamplePairs:    300000,
+		DatasetSeed:    1,
+		Out:            out,
+	}
+}
+
+// Quick returns minimal settings for benchmark use: one seed, small graphs.
+func Quick(out io.Writer) Options {
+	return Options{
+		Scale:          0.05,
+		Seeds:          1,
+		Epochs:         30,
+		EpochsLP:       60,
+		BaselineEpochs: 15,
+		Dim:            32,
+		MaxExactPairs:  2000,
+		SamplePairs:    100000,
+		DatasetSeed:    1,
+		Out:            out,
+	}
+}
+
+func (o Options) printf(format string, args ...any) {
+	if o.Out != nil {
+		fmt.Fprintf(o.Out, format, args...)
+	}
+}
+
+// dataset generates (and memoizes per call site) a simulated dataset.
+func (o Options) dataset(name string) (*graph.Graph, error) {
+	spec, err := datasets.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return datasets.Generate(name, o.Scale*spec.DefaultScale, o.DatasetSeed)
+}
+
+// strucEqu evaluates the metric, switching to pair sampling on big graphs.
+func (o Options) strucEqu(g *graph.Graph, emb *mathx.Matrix, seed uint64) float64 {
+	if g.NumNodes() <= o.MaxExactPairs {
+		return eval.StrucEqu(g, emb)
+	}
+	return eval.StrucEquSampled(g, emb, o.SamplePairs, xrand.New(seed^0x5e))
+}
+
+// seCfg builds an SE-PrivGEmb config from the paper defaults with the
+// harness-level overrides applied.
+func (o Options) seCfg(g *graph.Graph) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Dim = o.Dim
+	cfg.MaxEpochs = o.Epochs
+	if cfg.BatchSize > g.NumEdges() {
+		cfg.BatchSize = g.NumEdges()
+	}
+	return cfg
+}
+
+// meanSD formats a sample as the paper's "mean±sd" cells.
+func meanSD(xs []float64) string {
+	return fmt.Sprintf("%.4f±%.4f", mathx.Mean(xs), mathx.SampleStdDev(xs))
+}
+
+// runSE trains SE-PrivGEmb (or SE-GEmb when private is false) once and
+// returns the trained result.
+func runSE(g *graph.Graph, proxName string, cfg core.Config, seed uint64) (*core.Result, error) {
+	prox, err := proximity.ByName(proxName, g)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = seed
+	return core.Train(g, prox, cfg)
+}
+
+// seStrucEqu runs SE over the option's seeds and returns StrucEqu samples.
+func (o Options) seStrucEqu(g *graph.Graph, proxName string, mutate func(*core.Config)) ([]float64, error) {
+	out := make([]float64, 0, o.Seeds)
+	for s := 0; s < o.Seeds; s++ {
+		cfg := o.seCfg(g)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := runSE(g, proxName, cfg, uint64(s)+100)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o.strucEqu(g, res.Embedding(), uint64(s)))
+	}
+	return out, nil
+}
+
+// clampBatch caps B at |E| (sampling is without replacement) and reports
+// whether clamping occurred — needed when sweeping the paper's large batch
+// sizes over reduced-scale simulations.
+func clampBatch(b, numEdges int) (int, bool) {
+	if b > numEdges {
+		return numEdges, true
+	}
+	return b, false
+}
+
+// sortedKeys returns map keys in sorted order for stable printing.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// embScorer adapts an embedding to a link scorer (inner product).
+func embScorer(emb *mathx.Matrix) eval.Scorer {
+	return func(u, v int) float64 { return mathx.Dot(emb.Row(u), emb.Row(v)) }
+}
+
+// baselineCfg builds a baseline config at the given privacy budget.
+func (o Options) baselineCfg(eps float64) baselines.Config {
+	cfg := baselines.DefaultConfig()
+	cfg.Dim = o.Dim
+	cfg.Epochs = o.BaselineEpochs
+	cfg.Epsilon = eps
+	return cfg
+}
+
+// finiteOr returns v, or fallback when v is NaN/Inf (degenerate metric on a
+// tiny simulated graph).
+func finiteOr(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpts returns the smallest-possible settings so every runner can be
+// exercised inside the unit-test budget.
+func tinyOpts(buf *bytes.Buffer) Options {
+	return Options{
+		Scale:          0.03,
+		Seeds:          1,
+		Epochs:         8,
+		EpochsLP:       10,
+		BaselineEpochs: 3,
+		Dim:            12,
+		MaxExactPairs:  1500,
+		SamplePairs:    20000,
+		DatasetSeed:    1,
+		Out:            buf,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"table2", "table3", "table4", "table5", "table6",
+		"fig3", "fig4", "ablation-negsampling", "ablation-accountant", "all"} {
+		if reg[id] == nil {
+			t.Errorf("registry missing %q", id)
+		}
+	}
+}
+
+func TestTableRunnersProduceRows(t *testing.T) {
+	cases := []struct {
+		name   string
+		run    func(Options) error
+		expect []string
+	}{
+		{"table2", RunTable2, []string{"Table II", "SE-PrivGEmbDW", "SE-PrivGEmbDeg", "B"}},
+		{"table3", RunTable3, []string{"Table III", "eta", "0.01"}},
+		{"table4", RunTable4, []string{"Table IV", "C"}},
+		{"table5", RunTable5, []string{"Table V", "k"}},
+		{"table6", RunTable6, []string{"Table VI", "Naive", "Non-zero", "chameleon(eps=0.5)"}},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := c.run(tinyOpts(&buf)); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		out := buf.String()
+		for _, want := range c.expect {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q", c.name, want)
+			}
+		}
+		if !strings.Contains(out, "±") {
+			t.Errorf("%s output has no mean±sd cells", c.name)
+		}
+	}
+}
+
+func TestFigureRunnersProduceSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunFigure3Datasets(tinyOpts(&buf), []string{"power"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, m := range MethodNames {
+		if !strings.Contains(out, m) {
+			t.Errorf("figure 3 output missing method %q", m)
+		}
+	}
+	for _, eps := range []string{"eps=0.5", "eps=3.5"} {
+		if !strings.Contains(out, eps) {
+			t.Errorf("figure 3 output missing column %q", eps)
+		}
+	}
+
+	buf.Reset()
+	if err := RunFigure4Datasets(tinyOpts(&buf), []string{"power"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "AUC") {
+		t.Error("figure 4 output missing AUC header")
+	}
+}
+
+func TestAblationRunners(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAblationNegSampling(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "uniform") {
+		t.Error("negative-sampling ablation output incomplete")
+	}
+	buf.Reset()
+	if err := RunAblationAccountant(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "RDP") || !strings.Contains(out, "naive") {
+		t.Error("accountant ablation output incomplete")
+	}
+}
+
+func TestClampBatch(t *testing.T) {
+	if b, c := clampBatch(100, 50); b != 50 || !c {
+		t.Errorf("clampBatch(100, 50) = (%d, %v)", b, c)
+	}
+	if b, c := clampBatch(10, 50); b != 10 || c {
+		t.Errorf("clampBatch(10, 50) = (%d, %v)", b, c)
+	}
+}
+
+func TestMeanSDFormat(t *testing.T) {
+	got := meanSD([]float64{0.5, 0.7})
+	if !strings.Contains(got, "0.6000±") {
+		t.Errorf("meanSD = %q", got)
+	}
+}
+
+func TestFiniteOr(t *testing.T) {
+	if finiteOr(0.5, 0) != 0.5 {
+		t.Error("finiteOr altered a finite value")
+	}
+	nan := 0.0
+	nan /= nan
+	if finiteOr(nan, 0) != 0 {
+		t.Error("finiteOr let NaN through")
+	}
+}
+
+func TestQuickAndDefaultOptions(t *testing.T) {
+	q := Quick(nil)
+	d := Default(nil)
+	if q.Scale >= d.Scale || q.Epochs >= d.Epochs {
+		t.Error("Quick options should be smaller than Default")
+	}
+	// printf with nil Out must not panic.
+	q.printf("silent %d", 1)
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seprivgemb/internal/baselines"
+	"seprivgemb/internal/baselines/dpggan"
+	"seprivgemb/internal/baselines/dpgvae"
+	"seprivgemb/internal/baselines/gap"
+	"seprivgemb/internal/baselines/progap"
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/eval"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+// Epsilons is the privacy-budget sweep of Figures 3 and 4.
+var Epsilons = []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5}
+
+// MethodNames lists the eight algorithms of the figures in the paper's
+// legend order.
+var MethodNames = []string{
+	"DPGGAN", "DPGVAE", "GAP", "ProGAP",
+	"SE-GEmbDW", "SE-PrivGEmbDW", "SE-GEmbDeg", "SE-PrivGEmbDeg",
+}
+
+// embedder produces an embedding for one (graph, ε, seed) cell.
+type embedder func(g *graph.Graph, eps float64, seed uint64) (*mathx.Matrix, error)
+
+// methodEmbedders wires every figure method to its implementation. The
+// non-private SE-GEmb variants ignore ε, appearing as the flat utility
+// ceilings of the paper's plots.
+func (o Options) methodEmbedders() map[string]embedder {
+	baseline := func(m baselines.Method) embedder {
+		return func(g *graph.Graph, eps float64, seed uint64) (*mathx.Matrix, error) {
+			cfg := o.baselineCfg(eps)
+			cfg.Seed = seed
+			if cfg.BatchSize > g.NumNodes() {
+				cfg.BatchSize = g.NumNodes()
+			}
+			return m.Train(g, cfg)
+		}
+	}
+	se := func(prox string, private bool) embedder {
+		return func(g *graph.Graph, eps float64, seed uint64) (*mathx.Matrix, error) {
+			cfg := o.seCfg(g)
+			cfg.Private = private
+			cfg.Epsilon = eps
+			res, err := runSE(g, prox, cfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			return res.Embedding(), nil
+		}
+	}
+	return map[string]embedder{
+		"DPGGAN":         baseline(dpggan.New()),
+		"DPGVAE":         baseline(dpgvae.New()),
+		"GAP":            baseline(gap.New()),
+		"ProGAP":         baseline(progap.New()),
+		"SE-GEmbDW":      se("deepwalk", false),
+		"SE-PrivGEmbDW":  se("deepwalk", true),
+		"SE-GEmbDeg":     se("degree", false),
+		"SE-PrivGEmbDeg": se("degree", true),
+	}
+}
+
+// RunFigure3 regenerates Figure 3: StrucEqu vs privacy budget ε for all
+// eight methods across the six datasets.
+func RunFigure3(o Options) error {
+	return o.runFigure3On(figure3Datasets())
+}
+
+// RunFigure3Datasets runs the Figure 3 protocol on a subset of datasets
+// (used by the quick benchmarks).
+func RunFigure3Datasets(o Options, names []string) error {
+	return o.runFigure3On(names)
+}
+
+func figure3Datasets() []string {
+	return []string{"chameleon", "ppi", "power", "arxiv", "blogcatalog", "dblp"}
+}
+
+func (o Options) runFigure3On(names []string) error {
+	embedders := o.methodEmbedders()
+	o.printf("Figure 3: StrucEqu vs privacy budget eps\n")
+	for _, ds := range names {
+		g, err := o.dataset(ds)
+		if err != nil {
+			return err
+		}
+		o.printf("\n[%s] |V|=%d |E|=%d\n", ds, g.NumNodes(), g.NumEdges())
+		o.printf("%-16s", "method")
+		for _, eps := range Epsilons {
+			o.printf("%-16s", fmt.Sprintf("eps=%g", eps))
+		}
+		o.printf("\n")
+		for _, name := range MethodNames {
+			run := embedders[name]
+			o.printf("%-16s", name)
+			for _, eps := range Epsilons {
+				samples := make([]float64, 0, o.Seeds)
+				for s := 0; s < o.Seeds; s++ {
+					emb, err := run(g, eps, uint64(s)+200)
+					if err != nil {
+						return fmt.Errorf("fig3 %s/%s: %w", ds, name, err)
+					}
+					samples = append(samples,
+						finiteOr(o.strucEqu(g, emb, uint64(s)), 0))
+				}
+				o.printf("%-16s", meanSD(samples))
+			}
+			o.printf("\n")
+		}
+	}
+	return nil
+}
+
+// RunFigure4 regenerates Figure 4: link-prediction AUC vs ε for all eight
+// methods on Chameleon, Power and Arxiv with the 90/10 protocol.
+func RunFigure4(o Options) error {
+	return o.runFigure4On([]string{"chameleon", "power", "arxiv"})
+}
+
+// RunFigure4Datasets runs the Figure 4 protocol on chosen datasets.
+func RunFigure4Datasets(o Options, names []string) error {
+	return o.runFigure4On(names)
+}
+
+func (o Options) runFigure4On(names []string) error {
+	embedders := o.methodEmbedders()
+	o.printf("Figure 4: link-prediction AUC vs privacy budget eps\n")
+	for _, ds := range names {
+		g, err := o.dataset(ds)
+		if err != nil {
+			return err
+		}
+		o.printf("\n[%s] |V|=%d |E|=%d\n", ds, g.NumNodes(), g.NumEdges())
+		o.printf("%-16s", "method")
+		for _, eps := range Epsilons {
+			o.printf("%-16s", fmt.Sprintf("eps=%g", eps))
+		}
+		o.printf("\n")
+		for _, name := range MethodNames {
+			run := embedders[name]
+			o.printf("%-16s", name)
+			for _, eps := range Epsilons {
+				samples := make([]float64, 0, o.Seeds)
+				for s := 0; s < o.Seeds; s++ {
+					split, err := eval.SplitLinkPrediction(g, 0.1, xrand.New(uint64(s)+300))
+					if err != nil {
+						return err
+					}
+					emb, err := o.linkPredEmbed(run, name, split.Train, eps, uint64(s)+400)
+					if err != nil {
+						return fmt.Errorf("fig4 %s/%s: %w", ds, name, err)
+					}
+					samples = append(samples, eval.LinkAUC(split, embScorer(emb)))
+				}
+				o.printf("%-16s", meanSD(samples))
+			}
+			o.printf("\n")
+		}
+	}
+	return nil
+}
+
+// linkPredEmbed trains an embedding on the training graph, using the
+// longer link-prediction epoch budget for the SE variants (the paper
+// trains 2000 epochs for this task vs 200 for structural equivalence).
+func (o Options) linkPredEmbed(run embedder, name string, train *graph.Graph, eps float64, seed uint64) (*mathx.Matrix, error) {
+	switch name {
+	case "SE-GEmbDW", "SE-PrivGEmbDW", "SE-GEmbDeg", "SE-PrivGEmbDeg":
+		prox := "deepwalk"
+		if name == "SE-GEmbDeg" || name == "SE-PrivGEmbDeg" {
+			prox = "degree"
+		}
+		cfg := o.seCfg(train)
+		cfg.MaxEpochs = o.EpochsLP
+		cfg.Private = name == "SE-PrivGEmbDW" || name == "SE-PrivGEmbDeg"
+		cfg.Epsilon = eps
+		res, err := runSE(train, prox, cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		return res.Embedding(), nil
+	default:
+		return run(train, eps, seed)
+	}
+}
+
+// RunAblationNegSampling compares the paper's uniform negative-sampling
+// design (Theorem 3) against the prior-work degree-proportional design
+// (Eq. 14/15) on structural equivalence, non-privately, isolating the
+// structure-preference contribution.
+func RunAblationNegSampling(o Options) error {
+	o.printf("Ablation: negative-sampling design (non-private, DeepWalk preference)\n")
+	o.printf("%-12s%-22s%-22s\n", "dataset", "uniform (Thm 3)", "degree (Eq. 15)")
+	for _, ds := range paramDatasets {
+		g, err := o.dataset(ds)
+		if err != nil {
+			return err
+		}
+		uniform, err := o.seStrucEqu(g, "deepwalk", func(cfg *core.Config) {
+			cfg.Private = false
+			cfg.NegSampling = core.NegUniform
+		})
+		if err != nil {
+			return err
+		}
+		degree, err := o.seStrucEqu(g, "deepwalk", func(cfg *core.Config) {
+			cfg.Private = false
+			cfg.NegSampling = core.NegDegree
+		})
+		if err != nil {
+			return err
+		}
+		o.printf("%-12s%-22s%-22s\n", ds, meanSD(uniform), meanSD(degree))
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seprivgemb/internal/core"
+)
+
+// Parameter-study datasets (Section VI-B uses these three).
+var paramDatasets = []string{"chameleon", "power", "arxiv"}
+
+// Table-study proximity settings: the paper's two SE-PrivGEmb variants.
+var seVariants = []struct {
+	label string
+	prox  string
+}{
+	{"SE-PrivGEmbDW", "deepwalk"},
+	{"SE-PrivGEmbDeg", "degree"},
+}
+
+// RunTable2 regenerates Table II: StrucEqu vs batch size B at ε = 3.5.
+func RunTable2(o Options) error {
+	batches := []int{32, 64, 128, 256, 512, 1024}
+	o.printf("Table II: StrucEqu vs batch size B (eps=3.5)\n")
+	return o.sweepSE("B", batches, func(cfg *core.Config, b int, g graphLike) {
+		cfg.BatchSize, _ = clampBatch(b, g.NumEdges()) // clamped rows are starred
+	})
+}
+
+// RunTable3 regenerates Table III: StrucEqu vs learning rate η at ε = 3.5.
+func RunTable3(o Options) error {
+	etas := []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3}
+	o.printf("Table III: StrucEqu vs learning rate eta (eps=3.5)\n")
+	return sweepSEFloat(o, "eta", etas, func(cfg *core.Config, eta float64) {
+		cfg.LearningRate = eta
+	})
+}
+
+// RunTable4 regenerates Table IV: StrucEqu vs clipping threshold C at ε = 3.5.
+func RunTable4(o Options) error {
+	clips := []float64{1, 2, 3, 4, 5, 6}
+	o.printf("Table IV: StrucEqu vs clipping threshold C (eps=3.5)\n")
+	return sweepSEFloat(o, "C", clips, func(cfg *core.Config, c float64) {
+		cfg.Clip = c
+	})
+}
+
+// RunTable5 regenerates Table V: StrucEqu vs negative sampling number k.
+func RunTable5(o Options) error {
+	ks := []int{1, 2, 3, 4, 5, 6, 7}
+	o.printf("Table V: StrucEqu vs negative sampling number k (eps=3.5)\n")
+	return o.sweepSE("k", ks, func(cfg *core.Config, k int, _ graphLike) {
+		cfg.K = k
+	})
+}
+
+// RunTable6 regenerates Table VI: naive (Eq. 6) vs non-zero (Eq. 9)
+// perturbation at ε ∈ {0.5, 2, 3.5}.
+func RunTable6(o Options) error {
+	epsilons := []float64{0.5, 2, 3.5}
+	o.printf("Table VI: perturbation strategies on structural equivalence\n")
+	for _, variant := range seVariants {
+		o.printf("\n%s\n", variant.label)
+		o.printf("%-22s%-18s%-18s\n", "dataset(eps)", "Naive", "Non-zero")
+		for _, ds := range paramDatasets {
+			g, err := o.dataset(ds)
+			if err != nil {
+				return err
+			}
+			for _, eps := range epsilons {
+				naive, err := o.seStrucEqu(g, variant.prox, func(cfg *core.Config) {
+					cfg.Epsilon = eps
+					cfg.Strategy = core.StrategyNaive
+				})
+				if err != nil {
+					return err
+				}
+				nonzero, err := o.seStrucEqu(g, variant.prox, func(cfg *core.Config) {
+					cfg.Epsilon = eps
+					cfg.Strategy = core.StrategyNonZero
+				})
+				if err != nil {
+					return err
+				}
+				o.printf("%-22s%-18s%-18s\n",
+					fmt.Sprintf("%s(eps=%g)", ds, eps), meanSD(naive), meanSD(nonzero))
+			}
+		}
+	}
+	return nil
+}
+
+// graphLike exposes the one graph property parameter mutators need.
+type graphLike interface{ NumEdges() int }
+
+// sweepSE prints one table block per SE variant, sweeping an integer
+// parameter across the three parameter-study datasets.
+func (o Options) sweepSE(param string, values []int, mutate func(*core.Config, int, graphLike)) error {
+	for _, variant := range seVariants {
+		o.printf("\n%s\n", variant.label)
+		o.printf("%-8s", param)
+		for _, ds := range paramDatasets {
+			o.printf("%-20s", ds)
+		}
+		o.printf("\n")
+		for _, v := range values {
+			o.printf("%-8d", v)
+			for _, ds := range paramDatasets {
+				g, err := o.dataset(ds)
+				if err != nil {
+					return err
+				}
+				samples, err := o.seStrucEqu(g, variant.prox, func(cfg *core.Config) {
+					mutate(cfg, v, g)
+				})
+				if err != nil {
+					return err
+				}
+				cell := meanSD(samples)
+				if param == "B" && v > g.NumEdges() {
+					cell += "*" // clamped to |E| at this scale
+				}
+				o.printf("%-20s", cell)
+			}
+			o.printf("\n")
+		}
+	}
+	return nil
+}
+
+// sweepSEFloat is sweepSE for float-valued parameters.
+func sweepSEFloat(o Options, param string, values []float64, mutate func(*core.Config, float64)) error {
+	for _, variant := range seVariants {
+		o.printf("\n%s\n", variant.label)
+		o.printf("%-8s", param)
+		for _, ds := range paramDatasets {
+			o.printf("%-20s", ds)
+		}
+		o.printf("\n")
+		for _, v := range values {
+			o.printf("%-8g", v)
+			for _, ds := range paramDatasets {
+				g, err := o.dataset(ds)
+				if err != nil {
+					return err
+				}
+				samples, err := o.seStrucEqu(g, variant.prox, func(cfg *core.Config) {
+					mutate(cfg, v)
+				})
+				if err != nil {
+					return err
+				}
+				o.printf("%-20s", meanSD(samples))
+			}
+			o.printf("\n")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+
+	"seprivgemb/internal/xrand"
+)
+
+// This file contains the random-graph generators that serve as substrates
+// for the dataset simulators (see DESIGN.md §2, substitution 1). All
+// generators are deterministic given the RNG.
+
+// ErdosRenyi generates G(n, m): n nodes and exactly m uniform random edges
+// (no duplicates, no self-loops). It panics if m exceeds the number of
+// possible edges.
+func ErdosRenyi(n, m int, rng *xrand.RNG) *Graph {
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		panic(fmt.Sprintf("graph: ErdosRenyi(%d, %d) exceeds %d possible edges", n, m, maxEdges))
+	}
+	b := NewBuilder(n)
+	for b.NumEdges() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new node
+// attaches to m existing nodes chosen proportionally to degree. Produces
+// the heavy-tailed degree distributions typical of web, social, and
+// biological networks (Chameleon, PPI, BlogCatalog classes).
+func BarabasiAlbert(n, m int, rng *xrand.RNG) *Graph {
+	if m < 1 || n <= m {
+		panic(fmt.Sprintf("graph: BarabasiAlbert(%d, %d) requires 1 <= m < n", n, m))
+	}
+	b := NewBuilder(n)
+	// repeated-nodes list: each endpoint appearance = one unit of degree,
+	// so uniform sampling from it is preferential attachment.
+	targets := make([]int, 0, 2*n*m)
+	// Seed with a star on the first m+1 nodes so every early node has
+	// positive degree.
+	for v := 1; v <= m; v++ {
+		_ = b.AddEdge(0, v)
+		targets = append(targets, 0, v)
+	}
+	chosen := make(map[int]struct{}, m)
+	picks := make([]int, 0, m)
+	for u := m + 1; u < n; u++ {
+		clear(chosen)
+		picks = picks[:0]
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			if t != u {
+				if _, dup := chosen[t]; !dup {
+					chosen[t] = struct{}{}
+					picks = append(picks, t)
+				}
+			}
+		}
+		for _, t := range picks {
+			_ = b.AddEdge(u, t)
+			targets = append(targets, u, t)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where every
+// node connects to its k nearest neighbors (k even), with each edge rewired
+// with probability beta. With small k and beta it produces sparse,
+// high-diameter graphs like the Power grid.
+func WattsStrogatz(n, k int, beta float64, rng *xrand.RNG) *Graph {
+	if k < 2 || k%2 != 0 || k >= n {
+		panic(fmt.Sprintf("graph: WattsStrogatz(%d, %d) requires even 2 <= k < n", n, k))
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k/2; j++ {
+			v := (u + j) % n
+			if rng.Float64() < beta {
+				// Rewire to a uniform random non-neighbor.
+				for tries := 0; tries < 32; tries++ {
+					w := rng.Intn(n)
+					if w != u && !b.HasEdge(u, w) {
+						v = w
+						break
+					}
+				}
+			}
+			_ = b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// StochasticBlockModel generates a graph with `blocks` equally sized
+// communities. Within-community edges appear with probability pIn and
+// cross-community edges with pOut, drawn by sampling the expected edge
+// counts. Models collaboration networks with community structure (Arxiv).
+func StochasticBlockModel(n, blocks int, pIn, pOut float64, rng *xrand.RNG) *Graph {
+	if blocks < 1 || blocks > n {
+		panic(fmt.Sprintf("graph: StochasticBlockModel blocks=%d out of range", blocks))
+	}
+	community := make([]int, n)
+	for i := range community {
+		community[i] = i % blocks
+	}
+	b := NewBuilder(n)
+	// Expected edge counts; sample that many uniform pairs with matching
+	// or mismatching communities.
+	inPairs := 0
+	sizes := make([]int, blocks)
+	for _, c := range community {
+		sizes[c]++
+	}
+	for _, s := range sizes {
+		inPairs += s * (s - 1) / 2
+	}
+	totalPairs := n * (n - 1) / 2
+	outPairs := totalPairs - inPairs
+	wantIn := int(pIn * float64(inPairs))
+	wantOut := int(pOut * float64(outPairs))
+	addRandom := func(want int, sameCommunity bool) {
+		for added, tries := 0, 0; added < want && tries < 50*want+1000; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if (community[u] == community[v]) != sameCommunity {
+				continue
+			}
+			if b.HasEdge(u, v) {
+				continue
+			}
+			_ = b.AddEdge(u, v)
+			added++
+		}
+	}
+	addRandom(wantIn, true)
+	addRandom(wantOut, false)
+	return b.Build()
+}
+
+// TriadicBA generates a Barabási–Albert graph and then closes triangles:
+// for each node, with probability closure each pair of its sampled
+// neighbors gains an edge. This raises clustering toward what biological
+// interaction networks (PPI) exhibit while keeping the heavy tail.
+func TriadicBA(n, m int, closure float64, rng *xrand.RNG) *Graph {
+	base := BarabasiAlbert(n, m, rng)
+	b := NewBuilder(n)
+	for _, e := range base.Edges() {
+		_ = b.AddEdge(int(e.U), int(e.V))
+	}
+	for u := 0; u < n; u++ {
+		nb := base.Neighbors(u)
+		if len(nb) < 2 {
+			continue
+		}
+		// Sample a bounded number of pairs per node to keep generation
+		// near-linear even at hubs.
+		pairs := len(nb)
+		if pairs > 16 {
+			pairs = 16
+		}
+		for p := 0; p < pairs; p++ {
+			i := rng.Intn(len(nb))
+			j := rng.Intn(len(nb))
+			if i != j && rng.Float64() < closure {
+				_ = b.AddEdge(int(nb[i]), int(nb[j]))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// PowerGridLike generates a sparse quasi-planar network: a ring backbone
+// plus short-range chords and a few long-distance ties, tuned to hit
+// approximately the target edge count. Mean degree stays near
+// 2*targetEdges/n, mimicking electrical transmission grids.
+func PowerGridLike(n, targetEdges int, rng *xrand.RNG) *Graph {
+	if targetEdges < n {
+		panic(fmt.Sprintf("graph: PowerGridLike needs targetEdges >= n, got %d < %d", targetEdges, n))
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		_ = b.AddEdge(u, (u+1)%n) // ring backbone
+	}
+	for b.NumEdges() < targetEdges {
+		u := rng.Intn(n)
+		if rng.Float64() < 0.9 {
+			// Short-range chord within a window of 10.
+			d := 2 + rng.Intn(9)
+			_ = b.AddEdge(u, (u+d)%n)
+		} else {
+			v := rng.Intn(n)
+			if v != u {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"testing"
+
+	"seprivgemb/internal/xrand"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, xrand.New(1))
+	if g.NumNodes() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("ER: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestErdosRenyiPanicsOnTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ER with too many edges did not panic")
+		}
+	}()
+	ErdosRenyi(4, 100, xrand.New(1))
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, xrand.New(2))
+	if g.NumNodes() != 500 {
+		t.Fatalf("BA nodes = %d", g.NumNodes())
+	}
+	// Each of the n-m-1 newcomers adds m edges, plus the initial star.
+	wantEdges := 3 + (500-4)*3
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("BA edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	// Heavy tail: the max degree should far exceed the mean.
+	if float64(g.MaxDegree()) < 3*g.MeanDegree() {
+		t.Errorf("BA max degree %d not heavy-tailed vs mean %g", g.MaxDegree(), g.MeanDegree())
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BA with m >= n did not panic")
+		}
+	}()
+	BarabasiAlbert(3, 3, xrand.New(1))
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(200, 4, 0.1, xrand.New(3))
+	if g.NumNodes() != 200 {
+		t.Fatalf("WS nodes = %d", g.NumNodes())
+	}
+	// Roughly n*k/2 edges (rewiring can collapse a few duplicates).
+	if g.NumEdges() < 350 || g.NumEdges() > 400 {
+		t.Errorf("WS edges = %d, want approx 400", g.NumEdges())
+	}
+	// Low rewiring keeps the graph connected with overwhelming probability.
+	_, comps := g.ConnectedComponents()
+	if comps != 1 {
+		t.Errorf("WS components = %d, want 1", comps)
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WS with odd k did not panic")
+		}
+	}()
+	WattsStrogatz(10, 3, 0.1, xrand.New(1))
+}
+
+func TestStochasticBlockModel(t *testing.T) {
+	g := StochasticBlockModel(200, 4, 0.2, 0.01, xrand.New(4))
+	if g.NumNodes() != 200 {
+		t.Fatalf("SBM nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("SBM produced no edges")
+	}
+	// Within-community edges should dominate: count edges whose endpoints
+	// share community (i%4).
+	within := 0
+	for _, e := range g.Edges() {
+		if int(e.U)%4 == int(e.V)%4 {
+			within++
+		}
+	}
+	if 2*within < g.NumEdges() {
+		t.Errorf("SBM within-community edges %d / %d too few", within, g.NumEdges())
+	}
+}
+
+func TestTriadicBA(t *testing.T) {
+	plain := BarabasiAlbert(300, 3, xrand.New(5))
+	closed := TriadicBA(300, 3, 0.8, xrand.New(5))
+	if closed.NumEdges() <= plain.NumEdges() {
+		t.Errorf("triadic closure added no edges: %d <= %d", closed.NumEdges(), plain.NumEdges())
+	}
+}
+
+func TestPowerGridLike(t *testing.T) {
+	g := PowerGridLike(500, 670, xrand.New(6))
+	if g.NumNodes() != 500 || g.NumEdges() != 670 {
+		t.Fatalf("grid: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.MeanDegree() > 3.2 {
+		t.Errorf("grid mean degree %g too high for a power-grid analogue", g.MeanDegree())
+	}
+	_, comps := g.ConnectedComponents()
+	if comps != 1 {
+		t.Errorf("grid components = %d, want 1 (ring backbone)", comps)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := BarabasiAlbert(100, 2, xrand.New(77))
+	b := BarabasiAlbert(100, 2, xrand.New(77))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("BA not deterministic")
+	}
+	for i := range a.Edges() {
+		if a.Edge(i) != b.Edge(i) {
+			t.Fatal("BA edge lists differ for the same seed")
+		}
+	}
+}

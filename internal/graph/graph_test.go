@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seprivgemb/internal/xrand"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 0-2, 2-3
+func testGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := testGraph(t)
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(2) != 3 || g.Degree(3) != 1 {
+		t.Fatalf("degrees wrong: %v", g.Degrees())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge(0,1) should hold both ways")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("HasEdge(0,3) should be false")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self-loop HasEdge should be false")
+	}
+	if g.HasEdge(-1, 2) || g.HasEdge(0, 99) {
+		t.Error("out-of-range HasEdge should be false")
+	}
+}
+
+func TestBuilderRejects(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := b.AddEdge(0, 5); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumEdges() != 1 {
+		t.Fatalf("duplicate edge not deduplicated: %d edges", b.NumEdges())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := testGraph(t)
+	nb := g.Neighbors(2)
+	for i := 1; i < len(nb); i++ {
+		if nb[i-1] >= nb[i] {
+			t.Fatalf("Neighbors(2) not sorted: %v", nb)
+		}
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := testGraph(t)
+	if got := g.CommonNeighbors(0, 1); got != 1 { // both adjacent to 2
+		t.Errorf("CommonNeighbors(0,1) = %d, want 1", got)
+	}
+	if got := g.CommonNeighbors(0, 3); got != 1 { // both adjacent to 2
+		t.Errorf("CommonNeighbors(0,3) = %d, want 1", got)
+	}
+	if got := g.CommonNeighbors(1, 3); got != 1 {
+		t.Errorf("CommonNeighbors(1,3) = %d, want 1", got)
+	}
+}
+
+func TestDegreeSumIsTwiceEdges(t *testing.T) {
+	g := testGraph(t)
+	sum := 0
+	for _, d := range g.Degrees() {
+		sum += d
+	}
+	if sum != 2*g.NumEdges() {
+		t.Fatalf("handshake lemma violated: %d != %d", sum, 2*g.NumEdges())
+	}
+}
+
+func TestMeanMaxDegree(t *testing.T) {
+	g := testGraph(t)
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d, want 3", g.MaxDegree())
+	}
+	if g.MeanDegree() != 2 {
+		t.Errorf("MeanDegree = %g, want 2", g.MeanDegree())
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(5)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(2, 3)
+	g := b.Build()
+	comp, n := g.ConnectedComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] {
+		t.Fatalf("component labels wrong: %v", comp)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := testGraph(t)
+	sub, remap := g.Subgraph([]int{0, 1, 2})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("induced triangle wrong: %d nodes %d edges", sub.NumNodes(), sub.NumEdges())
+	}
+	if remap[3] != -1 {
+		t.Error("dropped node should map to -1")
+	}
+}
+
+func TestRemoveEdges(t *testing.T) {
+	g := testGraph(t)
+	h := g.RemoveEdges([]Edge{{U: 2, V: 0}, {U: 9, V: 10}})
+	if h.NumEdges() != 3 {
+		t.Fatalf("RemoveEdges left %d edges, want 3", h.NumEdges())
+	}
+	if h.HasEdge(0, 2) {
+		t.Error("removed edge still present")
+	}
+	if !h.HasEdge(0, 1) {
+		t.Error("unrelated edge vanished")
+	}
+}
+
+func TestCommonNeighborsMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(5)
+	g := ErdosRenyi(40, 120, rng)
+	brute := func(u, v int) int {
+		count := 0
+		for w := 0; w < g.NumNodes(); w++ {
+			if g.HasEdge(u, w) && g.HasEdge(v, w) {
+				count++
+			}
+		}
+		return count
+	}
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			if got, want := g.CommonNeighbors(u, v), brute(u, v); got != want {
+				t.Fatalf("CommonNeighbors(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestGraphInvariantsProperty(t *testing.T) {
+	// For random ER graphs: handshake lemma and HasEdge/Neighbors agreement.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 10 + rng.Intn(30)
+		maxM := n * (n - 1) / 2
+		m := rng.Intn(maxM)
+		g := ErdosRenyi(n, m, rng)
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(u)
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(u, int(v)) {
+					return false
+				}
+			}
+		}
+		return sum == 2*g.NumEdges() && g.NumEdges() == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

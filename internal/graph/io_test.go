@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seprivgemb/internal/xrand"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# comment
+% another comment
+0 1
+1 2
+2 0
+2 2
+1 0
+`
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3 (self-loop and duplicate dropped)", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListNonContiguousIDs(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("100 200\n200 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("compacted graph wrong: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Error("single-field line accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := ErdosRenyi(50, 100, xrand.New(8))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip: %d/%d nodes, %d/%d edges",
+			h.NumNodes(), g.NumNodes(), h.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := ErdosRenyi(20, 40, xrand.New(9))
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := WriteEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("file roundtrip edges: %d vs %d", h.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListFileMissing(t *testing.T) {
+	if _, err := ReadEdgeListFile("/nonexistent/path/graph.txt"); err == nil {
+		t.Error("missing file did not error")
+	}
+}

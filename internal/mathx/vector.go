@@ -1,0 +1,191 @@
+// Package mathx provides the dense vector, matrix, and statistics kernel
+// used throughout the repository. Everything is float64 and allocation
+// patterns favour reuse: most mutating operations take a destination slice.
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y.
+// It panics if the lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: Dot length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// AXPY computes y += a*x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: AXPY length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Add computes dst = x + y element-wise.
+func Add(dst, x, y []float64) {
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// Sub computes dst = x - y element-wise.
+func Sub(dst, x, y []float64) {
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// Zero sets every element of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// CopyInto copies src into dst and panics on length mismatch.
+func CopyInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mathx: CopyInto length mismatch %d != %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// Norm2 returns the Euclidean (ℓ2) norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm2Sq returns the squared Euclidean norm of x.
+func Norm2Sq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// EuclideanDistance returns ||x-y||₂.
+func EuclideanDistance(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: EuclideanDistance length mismatch %d != %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		d := v - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for fewer than two
+// elements.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 {
+	return math.Sqrt(Variance(x))
+}
+
+// SampleStdDev returns the Bessel-corrected sample standard deviation,
+// matching the ±SD columns reported in the paper's tables.
+func SampleStdDev(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(x)-1))
+}
+
+// MinMax returns the smallest and largest elements of x.
+// It panics on an empty slice.
+func MinMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		panic("mathx: MinMax of empty slice")
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClipNorm2 rescales x in place so that its ℓ2 norm does not exceed c,
+// implementing Clip(g) = g / max(1, ||g||₂/c) from Eq. (3) of the paper.
+// It returns the norm of x before clipping.
+func ClipNorm2(x []float64, c float64) float64 {
+	n := Norm2(x)
+	if c > 0 && n > c {
+		Scale(c/n, x)
+	}
+	return n
+}

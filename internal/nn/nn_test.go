@@ -1,0 +1,227 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+func TestActivations(t *testing.T) {
+	cases := []struct {
+		a    Activation
+		x    float64
+		want float64
+	}{
+		{Identity, 3, 3},
+		{ReLU, -2, 0},
+		{ReLU, 2, 2},
+		{Tanh, 0, 0},
+		{Sigmoid, 0, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.a.Apply(c.x); got != c.want {
+			t.Errorf("%v.Apply(%g) = %g, want %g", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestActivationDerivatives(t *testing.T) {
+	// Check derivFromOutput against finite differences for each activation.
+	const h = 1e-6
+	for _, a := range []Activation{Identity, ReLU, Tanh, Sigmoid} {
+		for _, x := range []float64{-1.3, 0.4, 2.1} {
+			y := a.Apply(x)
+			want := (a.Apply(x+h) - a.Apply(x-h)) / (2 * h)
+			if got := a.derivFromOutput(y); math.Abs(got-want) > 1e-5 {
+				t.Errorf("%v deriv at %g = %g, numeric %g", a, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMLPForwardShape(t *testing.T) {
+	m := NewMLP([]int{4, 8, 2}, []Activation{Tanh, Identity}, xrand.New(1))
+	if m.InDim() != 4 || m.OutDim() != 2 {
+		t.Fatalf("dims: in %d out %d", m.InDim(), m.OutDim())
+	}
+	var c Cache
+	out := m.Forward([]float64{1, 2, 3, 4}, &c)
+	if len(out) != 2 {
+		t.Fatalf("output len %d", len(out))
+	}
+	if got := c.Output(); &got[0] != &out[0] {
+		t.Error("Cache.Output should alias the forward result")
+	}
+	if len(c.Layer(1)) != 8 {
+		t.Errorf("hidden layer size %d, want 8", len(c.Layer(1)))
+	}
+}
+
+func TestMLPPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("too few sizes", func() { NewMLP([]int{3}, nil, xrand.New(1)) })
+	mustPanic("wrong acts", func() { NewMLP([]int{3, 2}, []Activation{Tanh, Tanh}, xrand.New(1)) })
+	m := NewMLP([]int{3, 2}, []Activation{Identity}, xrand.New(1))
+	var c Cache
+	mustPanic("bad input size", func() { m.Forward([]float64{1}, &c) })
+}
+
+// TestBackwardMatchesFiniteDifferences checks every parameter gradient and
+// the input gradient of a two-layer net against numeric differentiation.
+func TestBackwardMatchesFiniteDifferences(t *testing.T) {
+	m := NewMLP([]int{3, 5, 2}, []Activation{Tanh, Sigmoid}, xrand.New(2))
+	x := []float64{0.3, -0.7, 1.1}
+	target := []float64{1, 0}
+	loss := func() float64 {
+		var c Cache
+		out := m.Forward(x, &c)
+		var l float64
+		for i, o := range out {
+			li, _ := MSE(o, target[i])
+			l += li
+		}
+		return l
+	}
+	var c Cache
+	out := m.Forward(x, &c)
+	gradOut := make([]float64, len(out))
+	for i, o := range out {
+		_, gradOut[i] = MSE(o, target[i])
+	}
+	g := NewGrads(m)
+	dx := m.Backward(&c, gradOut, g)
+
+	const h = 1e-6
+	for l, layer := range m.Layers {
+		for i := range layer.W.Data {
+			orig := layer.W.Data[i]
+			layer.W.Data[i] = orig + h
+			lp := loss()
+			layer.W.Data[i] = orig - h
+			lm := loss()
+			layer.W.Data[i] = orig
+			want := (lp - lm) / (2 * h)
+			if math.Abs(g.W[l].Data[i]-want) > 1e-5 {
+				t.Fatalf("layer %d W[%d]: grad %g, numeric %g", l, i, g.W[l].Data[i], want)
+			}
+		}
+		for i := range layer.B {
+			orig := layer.B[i]
+			layer.B[i] = orig + h
+			lp := loss()
+			layer.B[i] = orig - h
+			lm := loss()
+			layer.B[i] = orig
+			want := (lp - lm) / (2 * h)
+			if math.Abs(g.B[l][i]-want) > 1e-5 {
+				t.Fatalf("layer %d B[%d]: grad %g, numeric %g", l, i, g.B[l][i], want)
+			}
+		}
+	}
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		lp := loss()
+		x[i] = orig - h
+		lm := loss()
+		x[i] = orig
+		want := (lp - lm) / (2 * h)
+		if math.Abs(dx[i]-want) > 1e-5 {
+			t.Fatalf("input grad[%d]: %g, numeric %g", i, dx[i], want)
+		}
+	}
+}
+
+func TestGradsClipAndNoise(t *testing.T) {
+	m := NewMLP([]int{2, 3, 1}, []Activation{ReLU, Identity}, xrand.New(3))
+	g := NewGrads(m)
+	for i := range g.W[0].Data {
+		g.W[0].Data[i] = 10
+	}
+	g.Clip(1)
+	if n := g.Norm(); math.Abs(n-1) > 1e-12 {
+		t.Errorf("clipped norm = %g, want 1", n)
+	}
+	g.Zero()
+	if g.Norm() != 0 {
+		t.Error("Zero did not reset")
+	}
+	g.AddNoise(1, xrand.New(4))
+	if g.Norm() == 0 {
+		t.Error("AddNoise added nothing")
+	}
+	// Negative sd is a no-op.
+	h := NewGrads(m)
+	h.AddNoise(-1, xrand.New(5))
+	if h.Norm() != 0 {
+		t.Error("negative-sd AddNoise perturbed gradients")
+	}
+}
+
+func TestGradsAdd(t *testing.T) {
+	m := NewMLP([]int{2, 2}, []Activation{Identity}, xrand.New(6))
+	a, b := NewGrads(m), NewGrads(m)
+	a.W[0].Data[0] = 1
+	b.W[0].Data[0] = 2
+	a.Add(b)
+	if a.W[0].Data[0] != 3 {
+		t.Errorf("Add = %g, want 3", a.W[0].Data[0])
+	}
+}
+
+func TestSGDTrainingConvergesXOR(t *testing.T) {
+	// A 2-4-1 tanh net must fit XOR: the end-to-end smoke test of the
+	// substrate.
+	m := NewMLP([]int{2, 8, 1}, []Activation{Tanh, Identity}, xrand.New(7))
+	inputs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := []float64{0, 1, 1, 0}
+	var c Cache
+	g := NewGrads(m)
+	for iter := 0; iter < 4000; iter++ {
+		g.Zero()
+		for s, x := range inputs {
+			out := m.Forward(x, &c)
+			_, dz := BCEWithLogits(out[0], targets[s])
+			m.Backward(&c, []float64{dz}, g)
+		}
+		m.ApplySGD(g, 0.5, 4)
+	}
+	for s, x := range inputs {
+		out := m.Forward(x, &c)
+		pred := mathx.Sigmoid(out[0])
+		if math.Abs(pred-targets[s]) > 0.2 {
+			t.Errorf("XOR(%v) = %g, want %g", x, pred, targets[s])
+		}
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	loss, dz := BCEWithLogits(0, 1)
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Errorf("BCE(0,1) loss = %g, want log 2", loss)
+	}
+	if math.Abs(dz-(-0.5)) > 1e-12 {
+		t.Errorf("BCE(0,1) grad = %g, want -0.5", dz)
+	}
+	// Stable at extremes.
+	loss, _ = BCEWithLogits(-800, 1)
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Errorf("BCE(-800,1) = %g, want finite", loss)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	loss, dy := MSE(3, 1)
+	if loss != 2 || dy != 2 {
+		t.Errorf("MSE(3,1) = (%g, %g), want (2, 2)", loss, dy)
+	}
+}

@@ -1,0 +1,145 @@
+// Package proximity implements the node-proximity measures of Definition 4:
+// functions p_ij = g(N(vi), N(vj), G) quantifying structural closeness. The
+// paper's structure-preference mechanism consumes a proximity in three ways:
+//
+//  1. as the per-edge loss weight p_ij in Eq. (5),
+//  2. through min(P) = min{p_ij | p_ij > 0} in the Theorem 3 optimum, and
+//  3. through the row sums Σ_j p_ij of the negative-sampling analysis.
+//
+// Measures are exposed behind the Proximity interface with lazily computed
+// sparse rows, so that O(|V|²) matrices never have to be materialized for
+// large graphs. Stats (min positive entry, row sums) are computed by a row
+// scan unless a measure provides an analytic shortcut.
+package proximity
+
+import (
+	"math"
+	"sort"
+
+	"seprivgemb/internal/graph"
+)
+
+// Entry is one positive entry of a sparse proximity row.
+type Entry struct {
+	J int32
+	P float64
+}
+
+// Proximity is a node-proximity measure over a fixed graph.
+//
+// Row(i) returns the positive entries of row i in ascending column order,
+// excluding the diagonal (self-proximity is never used: training pairs are
+// edges of a simple graph). At(i, j) returns p_ij, zero when absent.
+type Proximity interface {
+	Name() string
+	NumNodes() int
+	Row(i int) []Entry
+	At(i, j int) float64
+}
+
+// Stats carries the derived quantities Theorem 3 needs.
+type Stats struct {
+	// MinPositive is min(P) = min{p_ij : p_ij > 0} over all pairs.
+	MinPositive float64
+	// RowSums[i] = Σ_j p_ij.
+	RowSums []float64
+}
+
+// analyticStats is implemented by measures that can produce Stats without a
+// full row scan (e.g. degree products).
+type analyticStats interface {
+	Stats() Stats
+}
+
+// ComputeStats returns the Stats of p, using the measure's analytic
+// shortcut when available and a full row scan otherwise.
+func ComputeStats(p Proximity) Stats {
+	if a, ok := p.(analyticStats); ok {
+		return a.Stats()
+	}
+	n := p.NumNodes()
+	st := Stats{MinPositive: math.Inf(1), RowSums: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		for _, e := range p.Row(i) {
+			st.RowSums[i] += e.P
+			if e.P > 0 && e.P < st.MinPositive {
+				st.MinPositive = e.P
+			}
+		}
+	}
+	if math.IsInf(st.MinPositive, 1) {
+		st.MinPositive = 0
+	}
+	return st
+}
+
+// EdgeWeights evaluates p on every edge of g, in edge-list order. These are
+// the p_ij factors of the Eq. (5) objective. Zero-weight edges are kept
+// (their loss contribution is zero, exactly as the objective dictates).
+func EdgeWeights(p Proximity, g *graph.Graph) []float64 {
+	w := make([]float64, g.NumEdges())
+	for idx, e := range g.Edges() {
+		w[idx] = p.At(int(e.U), int(e.V))
+	}
+	return w
+}
+
+// rowAt searches a sorted sparse row for column j.
+func rowAt(row []Entry, j int) float64 {
+	k := sort.Search(len(row), func(k int) bool { return row[k].J >= int32(j) })
+	if k < len(row) && row[k].J == int32(j) {
+		return row[k].P
+	}
+	return 0
+}
+
+// sortRow sorts a sparse row by column and drops non-positive entries.
+func sortRow(row []Entry) []Entry {
+	out := row[:0]
+	for _, e := range row {
+		if e.P > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].J < out[b].J })
+	return out
+}
+
+// Sparse is a fully materialized proximity matrix, mainly for tests and for
+// caching expensive measures on small graphs.
+type Sparse struct {
+	name string
+	rows [][]Entry
+}
+
+// Materialize evaluates every row of p into a Sparse copy.
+func Materialize(p Proximity) *Sparse {
+	n := p.NumNodes()
+	s := &Sparse{name: p.Name(), rows: make([][]Entry, n)}
+	for i := 0; i < n; i++ {
+		s.rows[i] = append([]Entry(nil), p.Row(i)...)
+	}
+	return s
+}
+
+// NewSparse builds a Sparse measure directly from rows (testing helper).
+// Rows are copied, sorted, and filtered to positive entries.
+func NewSparse(name string, rows [][]Entry) *Sparse {
+	s := &Sparse{name: name, rows: make([][]Entry, len(rows))}
+	for i, r := range rows {
+		s.rows[i] = sortRow(append([]Entry(nil), r...))
+	}
+	return s
+}
+
+// Name implements Proximity.
+func (s *Sparse) Name() string { return s.name }
+
+// NumNodes implements Proximity.
+func (s *Sparse) NumNodes() int { return len(s.rows) }
+
+// Row implements Proximity.
+func (s *Sparse) Row(i int) []Entry { return s.rows[i] }
+
+// At implements Proximity.
+func (s *Sparse) At(i, j int) float64 { return rowAt(s.rows[i], j) }

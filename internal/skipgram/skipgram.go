@@ -1,0 +1,149 @@
+// Package skipgram implements the skip-gram-with-negative-sampling model of
+// Fig. 1 and its structure-weighted objective Eq. (5):
+//
+//	L_nov(vi, vj, p_ij) = −p_ij·log σ(vj·vi) − p_ij·Σ_n log σ(−vn·vi)
+//
+// together with the analytic gradients of Eq. (7) (input matrix Win, via the
+// one-hot hidden layer) and Eq. (8) (output matrix Wout, touched only at the
+// positive node and the k negatives). The sparsity of these gradients — one
+// row of Win and k+1 rows of Wout per example — is exactly what the paper's
+// non-zero perturbation mechanism exploits.
+package skipgram
+
+import (
+	"fmt"
+
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+// Model holds the two trainable embedding matrices. Win rows are the
+// central vectors v_i (the published embedding); Wout rows are the context
+// vectors v_j.
+type Model struct {
+	Dim  int
+	Win  *mathx.Matrix
+	Wout *mathx.Matrix
+}
+
+// New allocates a model for n nodes with r-dimensional embeddings. Both
+// matrices are initialized uniformly in [−0.5/r, 0.5/r). (word2vec zeroes
+// Wout, but with a zero context matrix the published Win receives no
+// gradient until Wout warms up — wasting most of the paper's tightly
+// budgeted epoch count, so both sides start at the same small scale.)
+func New(n, r int, rng *xrand.RNG) *Model {
+	if n < 1 || r < 1 {
+		panic(fmt.Sprintf("skipgram: New(%d, %d) invalid size", n, r))
+	}
+	m := &Model{Dim: r, Win: mathx.NewMatrix(n, r), Wout: mathx.NewMatrix(n, r)}
+	scale := 1 / float64(r)
+	for i := range m.Win.Data {
+		m.Win.Data[i] = (rng.Float64() - 0.5) * scale
+	}
+	for i := range m.Wout.Data {
+		m.Wout.Data[i] = (rng.Float64() - 0.5) * scale
+	}
+	return m
+}
+
+// NumNodes returns the number of embedded nodes.
+func (m *Model) NumNodes() int { return m.Win.Rows }
+
+// Example is one training sample: the positive pair (I, J), its negative
+// nodes, and the structure-preference weight W = p_ij from Eq. (5).
+type Example struct {
+	I, J int32
+	Negs []int32
+	W    float64
+}
+
+// Grads holds the sparse gradient of L_nov for a single example: one row
+// against Win and 1+len(Negs) rows against Wout. Buffers are reused across
+// calls to avoid per-example allocation in the training loop.
+type Grads struct {
+	InRow int       // row index into Win (the center node I)
+	GIn   []float64 // ∂L/∂v_I, length Dim
+
+	OutRows []int32     // J followed by the negatives
+	GOut    [][]float64 // ∂L/∂v_row for each entry of OutRows
+}
+
+// ensure sizes the buffers for dim and k negatives.
+func (g *Grads) ensure(dim, k int) {
+	if cap(g.GIn) < dim {
+		g.GIn = make([]float64, dim)
+	}
+	g.GIn = g.GIn[:dim]
+	need := k + 1
+	if cap(g.OutRows) < need {
+		g.OutRows = make([]int32, need)
+	}
+	g.OutRows = g.OutRows[:need]
+	for cap(g.GOut) < need {
+		g.GOut = append(g.GOut[:cap(g.GOut)], nil)
+	}
+	g.GOut = g.GOut[:need]
+	for i := range g.GOut {
+		if cap(g.GOut[i]) < dim {
+			g.GOut[i] = make([]float64, dim)
+		}
+		g.GOut[i] = g.GOut[i][:dim]
+	}
+}
+
+// Gradients computes the Eq. (7)/(8) gradients of L_nov at the current
+// parameters into g:
+//
+//	∂L/∂v_i = p_ij·[ (σ(v_j·v_i) − 1)·v_j + Σ_n σ(v_n·v_i)·v_n ]
+//	∂L/∂v_j = p_ij·(σ(v_j·v_i) − 1)·v_i
+//	∂L/∂v_n = p_ij·σ(v_n·v_i)·v_i
+//
+// which is the indicator form Σ_{n=0..k} (σ(v_n·v_i) − I_{v_j}[v_n])·v_n of
+// the paper with n = 0 denoting the positive node.
+func (m *Model) Gradients(ex Example, g *Grads) {
+	g.ensure(m.Dim, len(ex.Negs))
+	vi := m.Win.Row(int(ex.I))
+	g.InRow = int(ex.I)
+	mathx.Zero(g.GIn)
+
+	// Positive node (n = 0 in Eq. (7): indicator is 1).
+	vj := m.Wout.Row(int(ex.J))
+	coefJ := ex.W * (mathx.Sigmoid(mathx.Dot(vj, vi)) - 1)
+	mathx.AXPY(coefJ, vj, g.GIn)
+	g.OutRows[0] = ex.J
+	mathx.Zero(g.GOut[0])
+	mathx.AXPY(coefJ, vi, g.GOut[0])
+
+	// Negative nodes (indicator is 0).
+	for t, n := range ex.Negs {
+		vn := m.Wout.Row(int(n))
+		coefN := ex.W * mathx.Sigmoid(mathx.Dot(vn, vi))
+		mathx.AXPY(coefN, vn, g.GIn)
+		g.OutRows[t+1] = n
+		mathx.Zero(g.GOut[t+1])
+		mathx.AXPY(coefN, vi, g.GOut[t+1])
+	}
+}
+
+// Loss returns L_nov(v_i, v_j, p_ij) for the example at the current
+// parameters.
+func (m *Model) Loss(ex Example) float64 {
+	vi := m.Win.Row(int(ex.I))
+	l := -mathx.LogSigmoid(mathx.Dot(m.Wout.Row(int(ex.J)), vi))
+	for _, n := range ex.Negs {
+		l -= mathx.LogSigmoid(-mathx.Dot(m.Wout.Row(int(n)), vi))
+	}
+	return ex.W * l
+}
+
+// Score returns the model's inner-product score v_i·v_j (input·output),
+// the quantity x_ij whose optimum Theorem 3 characterizes.
+func (m *Model) Score(i, j int) float64 {
+	return mathx.Dot(m.Win.Row(i), m.Wout.Row(j))
+}
+
+// InputScore returns the symmetric input-space score v_i·v_j over Win only,
+// used by downstream tasks that consume the published embedding.
+func (m *Model) InputScore(i, j int) float64 {
+	return mathx.Dot(m.Win.Row(i), m.Win.Row(j))
+}

@@ -1,0 +1,99 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-outcome alias returned nonzero index")
+		}
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	r := New(99)
+	const draws = 200000
+	counts := make([]float64, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := 1.0 + 2 + 3 + 4
+	for i, w := range weights {
+		want := float64(draws) * w / total
+		if math.Abs(counts[i]-want) > 6*math.Sqrt(want) {
+			t.Errorf("outcome %d drawn %g times, want approx %g", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a, err := NewAlias([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(4)
+	for i := 0; i < 50000; i++ {
+		if a.Sample(r) == 1 {
+			t.Fatal("zero-weight outcome was sampled")
+		}
+	}
+}
+
+func TestAliasAlwaysInRangeProperty(t *testing.T) {
+	f := func(raw [6]float64) bool {
+		w := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			w = append(w, math.Abs(v))
+		}
+		a, err := NewAlias(w)
+		if err != nil {
+			return true // all-zero draw; rejection is correct behaviour
+		}
+		r := New(123)
+		for i := 0; i < 100; i++ {
+			idx := a.Sample(r)
+			if idx < 0 || idx >= len(w) {
+				return false
+			}
+			if w[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(1)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(7)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %g by more than 5σ", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0, 1)", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Normal mean = %g, want approx 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Normal variance = %g, want approx 1", variance)
+	}
+}
+
+func TestNormalVec(t *testing.T) {
+	r := New(5)
+	dst := make([]float64, 1000)
+	r.NormalVec(dst, 2)
+	var sumSq float64
+	for _, v := range dst {
+		sumSq += v * v
+	}
+	sd := math.Sqrt(sumSq / float64(len(dst)))
+	if sd < 1.6 || sd > 2.4 {
+		t.Errorf("NormalVec sd = %g, want approx 2", sd)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm invalid at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(13)
+	for _, tc := range []struct{ n, m int }{{100, 5}, {100, 80}, {10, 10}, {10, 0}, {1000, 3}} {
+		s := r.SampleWithoutReplacement(tc.n, tc.m)
+		if len(s) != tc.m {
+			t.Fatalf("SampleWithoutReplacement(%d, %d) returned %d items", tc.n, tc.m, len(s))
+		}
+		seen := make(map[int]bool, tc.m)
+		for _, v := range s {
+			if v < 0 || v >= tc.n {
+				t.Fatalf("sample value %d out of [0, %d)", v, tc.n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d in sample", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m > n did not panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Every element should be included with probability m/n.
+	r := New(17)
+	const n, m, trials = 20, 5, 20000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleWithoutReplacement(n, m) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * m / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d sampled %d times, want approx %g", i, c, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(21)
+	s := r.Split()
+	// The split stream should differ from the parent's continuation.
+	diff := false
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != s.Uint64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("Split stream identical to parent stream")
+	}
+}
