@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent paths (the parallel training engine and the
+# experiments sweep runner live under internal/).
+race:
+	$(GO) test -race ./internal/...
+
+# Concurrency + experiment benchmarks; BenchmarkTrainWorkers tracks the
+# parallel engine's scaling curve.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Tier-1 verification in one command.
+verify: build test race

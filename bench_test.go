@@ -10,6 +10,7 @@ package seprivgemb
 // EXPERIMENTS.md for recorded paper-vs-measured results.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -103,6 +104,56 @@ func BenchmarkAblationAccountant(b *testing.B) {
 		if err := experiments.RunAblationAccountant(quickOpts()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTrainWorkers measures the parallel gradient engine on the
+// quick-scale chameleon run at increasing worker counts. The trained
+// embedding is bit-identical across sub-benchmarks (that is the engine's
+// determinism contract), so the sub-benchmarks differ in wall-clock only.
+func BenchmarkTrainWorkers(b *testing.B) {
+	g, err := GenerateDataset("chameleon", 0.05, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prox, err := NewProximity("deepwalk", g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := DefaultConfig()
+	base.Dim = 64
+	base.MaxEpochs = 20
+	if base.BatchSize > g.NumEdges() {
+		base.BatchSize = g.NumEdges()
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(w), func(b *testing.B) {
+			cfg := base
+			cfg.Workers = w
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i)
+				if _, err := Train(g, prox, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSweepWorkers measures the experiments-level sweep runner
+// fanning independent (method × ε × seed) runs of the Figure 3 protocol
+// across goroutines. Printed tables are identical at every worker count.
+func BenchmarkParallelSweepWorkers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprint(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := quickOpts()
+				opts.Workers = w
+				if err := experiments.RunFigure3Datasets(opts, []string{"chameleon"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -7,6 +7,10 @@
 //	            ablation-negsampling|ablation-accountant|all
 //	            [-scale 0.1] [-seeds 3] [-epochs 100] [-epochs-lp 400]
 //	            [-baseline-epochs 60] [-dim 64] [-dataset-seed 1]
+//	            [-workers N]
+//
+// -workers fans the sweep's independent runs across N goroutines
+// (default: all CPUs); printed results are identical at any worker count.
 //
 // The paper's full protocol corresponds to -scale 1 -seeds 10 -epochs 200
 // -epochs-lp 2000 -dim 128 (budget hours of CPU for the full Figure 3).
@@ -16,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"seprivgemb/internal/experiments"
@@ -31,6 +36,7 @@ func main() {
 		baselineEpochs = flag.Int("baseline-epochs", 60, "GAN/VAE baseline epochs")
 		dim            = flag.Int("dim", 64, "embedding dimension")
 		datasetSeed    = flag.Uint64("dataset-seed", 1, "seed for dataset simulation")
+		workers        = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines fanning independent sweep runs (printed results are identical at any count)")
 	)
 	flag.Parse()
 
@@ -42,6 +48,7 @@ func main() {
 	opt.BaselineEpochs = *baselineEpochs
 	opt.Dim = *dim
 	opt.DatasetSeed = *datasetSeed
+	opt.Workers = *workers
 
 	reg := experiments.Registry()
 	run, ok := reg[*exp]

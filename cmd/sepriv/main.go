@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"seprivgemb"
 )
@@ -38,6 +39,7 @@ func main() {
 		naive     = flag.Bool("naive", false, "use the naive Eq. (6) perturbation instead of non-zero Eq. (9)")
 		nonPriv   = flag.Bool("non-private", false, "train the non-private SE-GEmb counterpart")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "gradient-stage goroutines (results are seed-deterministic at any count)")
 		outPath   = flag.String("out", "", "write the embedding as TSV to this file")
 		doEval    = flag.Bool("eval", true, "evaluate StrucEqu and link-prediction AUC")
 	)
@@ -65,6 +67,7 @@ func main() {
 	cfg.Epsilon = *eps
 	cfg.Delta = *delta
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	cfg.Private = !*nonPriv
 	if *naive {
 		cfg.Strategy = seprivgemb.StrategyNaive

@@ -20,6 +20,12 @@
 // (Definition 5); by Theorem 2 any downstream computation on it — including
 // both evaluation tasks in this package — retains that guarantee.
 //
+// Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs the
+// per-epoch gradient stage on a goroutine pool that preserves bit-identical
+// results at every worker count (DESIGN.md §6). The experiments harness
+// offers the same guarantee one level up: independent sweep runs fan across
+// goroutines without changing a printed number.
+//
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper's evaluation.
 package seprivgemb

@@ -1,0 +1,3 @@
+module seprivgemb
+
+go 1.24

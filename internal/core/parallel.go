@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sync"
+
+	"seprivgemb/internal/dp"
+	"seprivgemb/internal/skipgram"
+)
+
+// This file implements the deterministic parallel gradient engine behind
+// Train. Each epoch of Algorithm 2 splits into two stages:
+//
+//  1. Gradient stage (parallelizable): for every sampled subgraph compute
+//     the loss and the per-example clipped gradients. The model is
+//     read-only here and — critically — this stage consumes NO randomness,
+//     so worker scheduling can never perturb the run's random stream.
+//  2. Update stage (single-threaded): reduce the per-example gradients
+//     into the row accumulators, then perturb and apply them with noise
+//     drawn from the run RNG in sorted-row order (see applyUpdate).
+//
+// Determinism contract: a fixed Config.Seed yields bit-identical Results
+// at every worker count, and Workers > 1 matches the serial Workers <= 1
+// path bit for bit. Floating-point addition is not associative, so naive
+// per-shard partial sums would change with the shard layout; instead each
+// worker writes its examples' gradients into a pre-indexed slot (one per
+// batch position) and the reduction replays them single-threaded in batch
+// order — exactly the order the serial loop accumulates in. The only cost
+// over per-shard accumulators is O(B·(k+2)·dim) slot memory (< 1 MiB at
+// the paper's settings) and a serial reduction that is ~6x cheaper than
+// the gradient computation it orders.
+//
+// Synchronization: slots are disjoint per batch position, so workers never
+// share a write target. The jobs channel send happens-before the worker's
+// reads, and wg.Wait happens-after its writes, so each epoch's update
+// stage (and the next epoch's model mutation) is properly ordered against
+// the gradient stage without locks.
+
+// span is a half-open range [lo, hi) of batch positions handed to one
+// worker as a unit of work.
+type span struct{ lo, hi int }
+
+// slot holds the gradient stage's output for one batch position.
+type slot struct {
+	loss  float64
+	grads skipgram.Grads
+}
+
+// engine runs the per-epoch gradient stage of Algorithm 2, serially for
+// workers <= 1 and over a persistent goroutine pool otherwise.
+type engine struct {
+	model   *skipgram.Model
+	subs    []Subgraph
+	weights []float64
+	clip    float64
+	workers int
+
+	// Serial scratch (workers <= 1): one slot reused across examples,
+	// exactly the pre-engine training loop.
+	scratch slot
+
+	// Parallel state (workers > 1).
+	slots []slot // one per batch position, disjoint write targets
+	idx   []int  // current epoch's sampled subgraph indices
+	jobs  chan span
+	wg    sync.WaitGroup
+}
+
+// newEngine builds the gradient engine for one Train call. For workers > 1
+// it pre-sizes one slot per batch position and starts the worker pool;
+// close must be called to release the goroutines.
+func newEngine(model *skipgram.Model, subs []Subgraph, weights []float64, cfg Config) *engine {
+	e := &engine{
+		model:   model,
+		subs:    subs,
+		weights: weights,
+		clip:    cfg.Clip,
+		workers: cfg.Workers,
+	}
+	// splitSpans never produces more than one span per batch position, so
+	// extra goroutines would only idle; clamp before spawning them.
+	if e.workers > cfg.BatchSize {
+		e.workers = cfg.BatchSize
+	}
+	if e.workers > 1 {
+		e.slots = make([]slot, cfg.BatchSize)
+		for i := range e.slots {
+			e.slots[i].grads.Ensure(cfg.Dim, cfg.K)
+		}
+		e.jobs = make(chan span)
+		for w := 0; w < e.workers; w++ {
+			go e.workerLoop()
+		}
+	}
+	return e
+}
+
+// close shuts down the worker pool. It is a no-op for serial engines.
+func (e *engine) close() {
+	if e.jobs != nil {
+		close(e.jobs)
+	}
+}
+
+// workerLoop drains spans of batch positions, computing each position's
+// loss and clipped gradients into its slot.
+func (e *engine) workerLoop() {
+	for sp := range e.jobs {
+		for i := sp.lo; i < sp.hi; i++ {
+			e.computeSub(e.idx[i], &e.slots[i])
+		}
+		e.wg.Done()
+	}
+}
+
+// computeSub fills sl with subgraph si's loss and clipped gradients at the
+// current parameters. Both the serial and the parallel path go through this
+// one function, so their per-example numerics cannot drift apart.
+func (e *engine) computeSub(si int, sl *slot) {
+	s := e.subs[si]
+	ex := skipgram.Example{I: s.I, J: s.J, Negs: s.Negs, W: e.weights[si]}
+	sl.loss = e.model.Loss(ex)
+	e.model.Gradients(ex, &sl.grads)
+	if e.clip > 0 {
+		// Per-example clipping (Eq. (3)): the Win part is the single row
+		// ∂L/∂v_i; the Wout part is the joint gradient over its k+1
+		// touched rows.
+		dp.Clip(sl.grads.GIn, e.clip)
+		clipJoint(sl.grads.GOut, e.clip)
+	}
+}
+
+// accumulate folds one slot's gradients into the row accumulators. Shared
+// by the serial loop and the parallel reduction so the add order per slot
+// is identical on both paths.
+func accumulate(sl *slot, accIn, accOut *rowAccumulator) {
+	accIn.add(int32(sl.grads.InRow), sl.grads.GIn)
+	for t, row := range sl.grads.OutRows {
+		accOut.add(row, sl.grads.GOut[t])
+	}
+}
+
+// gradientStage runs stage 1 for the epoch's sampled indices and reduces
+// the per-example gradients into accIn/accOut, returning the summed batch
+// loss. Reduction is always in batch order, so the result is bit-identical
+// to the serial loop regardless of worker count.
+func (e *engine) gradientStage(idx []int, accIn, accOut *rowAccumulator) float64 {
+	if e.workers <= 1 {
+		return e.gradientStageSerial(idx, accIn, accOut)
+	}
+	e.idx = idx
+	spans := splitSpans(len(idx), e.workers)
+	e.wg.Add(len(spans))
+	for _, sp := range spans {
+		e.jobs <- sp
+	}
+	e.wg.Wait()
+
+	var lossSum float64
+	for i := range idx {
+		lossSum += e.slots[i].loss
+		accumulate(&e.slots[i], accIn, accOut)
+	}
+	return lossSum
+}
+
+// gradientStageSerial is the pre-engine training loop: gradient computation
+// and accumulation interleaved per example, one shared scratch slot.
+func (e *engine) gradientStageSerial(idx []int, accIn, accOut *rowAccumulator) float64 {
+	var lossSum float64
+	for _, si := range idx {
+		e.computeSub(si, &e.scratch)
+		lossSum += e.scratch.loss
+		accumulate(&e.scratch, accIn, accOut)
+	}
+	return lossSum
+}
+
+// splitSpans cuts [0, n) into at most w contiguous non-empty spans of
+// near-equal size (the first n%w spans are one longer).
+func splitSpans(n, w int) []span {
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		return nil
+	}
+	spans := make([]span, 0, w)
+	base, rem := n/w, n%w
+	lo := 0
+	for i := 0; i < w; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans = append(spans, span{lo, lo + size})
+		lo += size
+	}
+	return spans
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/xrand"
+)
+
+// trainWorkers runs Train at the given worker count with a fresh proximity
+// (proximity construction may cache internally, so sharing one across
+// concurrent or repeated runs would couple the cases).
+func trainWorkers(t *testing.T, g *graph.Graph, cfg Config, workers int) *Result {
+	t.Helper()
+	cfg.Workers = workers
+	res, err := Train(g, proximity.NewDeepWalk(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertBitIdentical fails unless a and b are bit-for-bit the same Result.
+func assertBitIdentical(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if a.Epochs != b.Epochs || a.StoppedByBudget != b.StoppedByBudget {
+		t.Fatalf("%s: epochs/stop diverged: (%d, %v) vs (%d, %v)",
+			label, a.Epochs, a.StoppedByBudget, b.Epochs, b.StoppedByBudget)
+	}
+	if math.Float64bits(a.EpsilonSpent) != math.Float64bits(b.EpsilonSpent) {
+		t.Fatalf("%s: EpsilonSpent %v vs %v", label, a.EpsilonSpent, b.EpsilonSpent)
+	}
+	if math.Float64bits(a.DeltaSpent) != math.Float64bits(b.DeltaSpent) {
+		t.Fatalf("%s: DeltaSpent %v vs %v", label, a.DeltaSpent, b.DeltaSpent)
+	}
+	if len(a.LossHistory) != len(b.LossHistory) {
+		t.Fatalf("%s: loss history lengths %d vs %d",
+			label, len(a.LossHistory), len(b.LossHistory))
+	}
+	for i := range a.LossHistory {
+		if math.Float64bits(a.LossHistory[i]) != math.Float64bits(b.LossHistory[i]) {
+			t.Fatalf("%s: loss[%d] = %v vs %v", label, i, a.LossHistory[i], b.LossHistory[i])
+		}
+	}
+	for name, pair := range map[string][2][]float64{
+		"Win":  {a.Model.Win.Data, b.Model.Win.Data},
+		"Wout": {a.Model.Wout.Data, b.Model.Wout.Data},
+	} {
+		x, y := pair[0], pair[1]
+		if len(x) != len(y) {
+			t.Fatalf("%s: %s sizes %d vs %d", label, name, len(x), len(y))
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				t.Fatalf("%s: %s[%d] = %v vs %v", label, name, i, x[i], y[i])
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the equivalence suite of the determinism
+// contract: for every supported configuration axis, Workers ∈ {2, 4, 7}
+// must reproduce the Workers=1 serial baseline bit for bit — embedding,
+// loss history and privacy accounting alike.
+func TestParallelMatchesSerial(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 3, xrand.New(11))
+	cases := []struct {
+		name     string
+		private  bool
+		strategy Strategy
+		neg      NegSampling
+	}{
+		{"private/nonzero/uniform", true, StrategyNonZero, NegUniform},
+		{"private/nonzero/degree", true, StrategyNonZero, NegDegree},
+		{"private/naive/uniform", true, StrategyNaive, NegUniform},
+		{"private/naive/degree", true, StrategyNaive, NegDegree},
+		{"nonprivate/uniform", false, StrategyNonZero, NegUniform},
+		{"nonprivate/degree", false, StrategyNonZero, NegDegree},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.MaxEpochs = 12
+			cfg.Private = tc.private
+			cfg.Strategy = tc.strategy
+			cfg.NegSampling = tc.neg
+			if !tc.private {
+				cfg.Clip = 0
+			}
+			serial := trainWorkers(t, g, cfg, 1)
+			for _, w := range []int{2, 4, 7} {
+				par := trainWorkers(t, g, cfg, w)
+				assertBitIdentical(t, serial, par, fmt.Sprintf("workers=%d", w))
+			}
+		})
+	}
+}
+
+// TestWorkersZeroIsSerial checks that the Workers=0 default selects the
+// serial path (same results, no pool).
+func TestWorkersZeroIsSerial(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.MaxEpochs = 6
+	assertBitIdentical(t, trainWorkers(t, g, cfg, 0), trainWorkers(t, g, cfg, 1), "workers=0")
+}
+
+// TestWorkersExceedingBatch runs more workers than batch positions: spans
+// must stay non-empty and results unchanged.
+func TestWorkersExceedingBatch(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.BatchSize = 5
+	cfg.MaxEpochs = 6
+	assertBitIdentical(t, trainWorkers(t, g, cfg, 1), trainWorkers(t, g, cfg, 16), "workers=16,B=5")
+}
+
+func TestWorkersValidation(t *testing.T) {
+	g := smallGraph(t)
+	cfg := smallConfig()
+	cfg.Workers = -1
+	if _, err := Train(g, proximity.NewDegree(g), cfg); err == nil {
+		t.Error("negative worker count accepted")
+	}
+}
+
+func TestSplitSpans(t *testing.T) {
+	cases := []struct {
+		n, w int
+		want []span
+	}{
+		{10, 3, []span{{0, 4}, {4, 7}, {7, 10}}},
+		{4, 4, []span{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{3, 8, []span{{0, 1}, {1, 2}, {2, 3}}}, // more workers than work
+		{0, 4, nil},
+		{5, 1, []span{{0, 5}}},
+	}
+	for _, c := range cases {
+		got := splitSpans(c.n, c.w)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitSpans(%d, %d) = %v, want %v", c.n, c.w, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitSpans(%d, %d)[%d] = %v, want %v", c.n, c.w, i, got[i], c.want[i])
+			}
+		}
+	}
+}

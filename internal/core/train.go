@@ -57,6 +57,11 @@ type Config struct {
 	NegSampling  NegSampling
 	Private      bool   // false trains the non-private SE-GEmb counterpart
 	Seed         uint64 // seeds all randomness of the run
+	// Workers sets the goroutine count of the per-epoch gradient stage.
+	// 0 and 1 both select the serial path; any value yields bit-identical
+	// results for a fixed Seed (see parallel.go for the determinism
+	// contract), so Workers trades only wall-clock time, never output.
+	Workers int
 }
 
 // DefaultConfig returns the paper's experimental settings (Section VI-A):
@@ -96,6 +101,8 @@ func (c Config) validate(g *graph.Graph) error {
 		return fmt.Errorf("core: max epochs %d must be >= 1", c.MaxEpochs)
 	case c.LearningRate <= 0:
 		return fmt.Errorf("core: learning rate %g must be positive", c.LearningRate)
+	case c.Workers < 0:
+		return fmt.Errorf("core: worker count %d must be >= 0", c.Workers)
 	}
 	if c.Private {
 		switch {
@@ -137,6 +144,11 @@ func (r *Result) Embedding() *mathx.Matrix { return r.Model.Win }
 // counterpart when cfg.Private is false — on g with the given structure
 // preference. The proximity argument supplies the per-edge weights p_ij of
 // the Eq. (5) objective.
+//
+// With cfg.Workers > 1 the per-epoch gradient stage runs on a goroutine
+// pool; the result is bit-identical to the serial run at every worker
+// count because only the randomness-free gradient computation is
+// parallelized and its reduction replays in batch order (parallel.go).
 func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error) {
 	if err := cfg.validate(g); err != nil {
 		return nil, err
@@ -176,7 +188,8 @@ func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error
 	gamma := float64(cfg.BatchSize) / float64(g.NumEdges())
 
 	res := &Result{Model: model}
-	var grads skipgram.Grads
+	eng := newEngine(model, subs, weights, cfg)
+	defer eng.close()
 	accIn := newRowAccumulator(cfg.Dim)
 	accOut := newRowAccumulator(cfg.Dim)
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
@@ -185,24 +198,9 @@ func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error
 		idx := rng.SampleWithoutReplacement(len(subs), cfg.BatchSize)
 		accIn.reset()
 		accOut.reset()
-		var lossSum float64
-		for _, si := range idx {
-			s := subs[si]
-			ex := skipgram.Example{I: s.I, J: s.J, Negs: s.Negs, W: weights[si]}
-			lossSum += model.Loss(ex)
-			model.Gradients(ex, &grads)
-			if cfg.Clip > 0 {
-				// Per-example clipping (Eq. (3)): the Win part is the
-				// single row ∂L/∂v_i; the Wout part is the joint gradient
-				// over its k+1 touched rows.
-				dp.Clip(grads.GIn, cfg.Clip)
-				clipJoint(grads.GOut, cfg.Clip)
-			}
-			accIn.add(int32(grads.InRow), grads.GIn)
-			for t, row := range grads.OutRows {
-				accOut.add(row, grads.GOut[t])
-			}
-		}
+		// Per-example losses and clipped gradients (the stage that
+		// parallelizes across cfg.Workers), reduced in batch order.
+		lossSum := eng.gradientStage(idx, accIn, accOut)
 		res.LossHistory = append(res.LossHistory, lossSum/float64(cfg.BatchSize))
 
 		// Lines 6–7: perturb and apply the updates to Win and Wout.

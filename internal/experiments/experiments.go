@@ -39,7 +39,14 @@ type Options struct {
 	MaxExactPairs  int     // switch StrucEqu to sampling above this |V|
 	SamplePairs    int     // pair sample size for large graphs
 	DatasetSeed    uint64  // seed for dataset simulation
-	Out            io.Writer
+	// Workers fans the sweep's independent (dataset × ε × method × seed)
+	// runs across goroutines (<= 1 is serial). Each run owns its seed, so
+	// every printed number is identical at any worker count; individual
+	// training runs stay single-threaded (core.Config.Workers parallelizes
+	// within a run instead — use one axis or the other, not both, to avoid
+	// oversubscription).
+	Workers int
+	Out     io.Writer
 }
 
 // Default returns harness settings that regenerate every experiment at
@@ -126,19 +133,24 @@ func runSE(g *graph.Graph, proxName string, cfg core.Config, seed uint64) (*core
 	return core.Train(g, prox, cfg)
 }
 
-// seStrucEqu runs SE over the option's seeds and returns StrucEqu samples.
+// seStrucEqu runs SE over the option's seeds — fanned across o.Workers
+// goroutines — and returns StrucEqu samples in seed order.
 func (o Options) seStrucEqu(g *graph.Graph, proxName string, mutate func(*core.Config)) ([]float64, error) {
-	out := make([]float64, 0, o.Seeds)
-	for s := 0; s < o.Seeds; s++ {
+	out := make([]float64, o.Seeds)
+	err := parallelEach(o.workerCount(), o.Seeds, func(s int) error {
 		cfg := o.seCfg(g)
 		if mutate != nil {
 			mutate(&cfg)
 		}
 		res, err := runSE(g, proxName, cfg, uint64(s)+100)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, o.strucEqu(g, res.Embedding(), uint64(s)))
+		out[s] = o.strucEqu(g, res.Embedding(), uint64(s))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

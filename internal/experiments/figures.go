@@ -90,31 +90,66 @@ func (o Options) runFigure3On(names []string) error {
 		if err != nil {
 			return err
 		}
-		o.printf("\n[%s] |V|=%d |E|=%d\n", ds, g.NumNodes(), g.NumEdges())
-		o.printf("%-16s", "method")
-		for _, eps := range Epsilons {
-			o.printf("%-16s", fmt.Sprintf("eps=%g", eps))
-		}
-		o.printf("\n")
-		for _, name := range MethodNames {
-			run := embedders[name]
-			o.printf("%-16s", name)
-			for _, eps := range Epsilons {
-				samples := make([]float64, 0, o.Seeds)
-				for s := 0; s < o.Seeds; s++ {
-					emb, err := run(g, eps, uint64(s)+200)
-					if err != nil {
-						return fmt.Errorf("fig3 %s/%s: %w", ds, name, err)
-					}
-					samples = append(samples,
-						finiteOr(o.strucEqu(g, emb, uint64(s)), 0))
-				}
-				o.printf("%-16s", meanSD(samples))
+		// Compute the whole method × ε × seed grid for this dataset with
+		// the parallel sweep runner, then print rows in legend order.
+		grid, err := o.sweepGrid(func(name string, eps float64, s int) (float64, error) {
+			emb, err := embedders[name](g, eps, uint64(s)+200)
+			if err != nil {
+				return 0, fmt.Errorf("fig3 %s/%s: %w", ds, name, err)
 			}
-			o.printf("\n")
+			return finiteOr(o.strucEqu(g, emb, uint64(s)), 0), nil
+		})
+		if err != nil {
+			return err
 		}
+		o.printf("\n[%s] |V|=%d |E|=%d\n", ds, g.NumNodes(), g.NumEdges())
+		o.printGrid(grid)
 	}
 	return nil
+}
+
+// sweepGrid evaluates cell(method, ε, seed) for the full figure grid across
+// o.Workers goroutines and returns samples indexed [method][εIdx][seed].
+func (o Options) sweepGrid(cell func(name string, eps float64, seed int) (float64, error)) ([][][]float64, error) {
+	grid := make([][][]float64, len(MethodNames))
+	for m := range grid {
+		grid[m] = make([][]float64, len(Epsilons))
+		for e := range grid[m] {
+			grid[m][e] = make([]float64, o.Seeds)
+		}
+	}
+	n := len(MethodNames) * len(Epsilons) * o.Seeds
+	err := parallelEach(o.workerCount(), n, func(i int) error {
+		s := i % o.Seeds
+		e := i / o.Seeds % len(Epsilons)
+		m := i / o.Seeds / len(Epsilons)
+		v, err := cell(MethodNames[m], Epsilons[e], s)
+		if err != nil {
+			return err
+		}
+		grid[m][e][s] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return grid, nil
+}
+
+// printGrid prints a figure grid as the paper-style method × ε table.
+func (o Options) printGrid(grid [][][]float64) {
+	o.printf("%-16s", "method")
+	for _, eps := range Epsilons {
+		o.printf("%-16s", fmt.Sprintf("eps=%g", eps))
+	}
+	o.printf("\n")
+	for m, name := range MethodNames {
+		o.printf("%-16s", name)
+		for e := range Epsilons {
+			o.printf("%-16s", meanSD(grid[m][e]))
+		}
+		o.printf("\n")
+	}
 }
 
 // RunFigure4 regenerates Figure 4: link-prediction AUC vs ε for all eight
@@ -136,32 +171,22 @@ func (o Options) runFigure4On(names []string) error {
 		if err != nil {
 			return err
 		}
-		o.printf("\n[%s] |V|=%d |E|=%d\n", ds, g.NumNodes(), g.NumEdges())
-		o.printf("%-16s", "method")
-		for _, eps := range Epsilons {
-			o.printf("%-16s", fmt.Sprintf("eps=%g", eps))
-		}
-		o.printf("\n")
-		for _, name := range MethodNames {
-			run := embedders[name]
-			o.printf("%-16s", name)
-			for _, eps := range Epsilons {
-				samples := make([]float64, 0, o.Seeds)
-				for s := 0; s < o.Seeds; s++ {
-					split, err := eval.SplitLinkPrediction(g, 0.1, xrand.New(uint64(s)+300))
-					if err != nil {
-						return err
-					}
-					emb, err := o.linkPredEmbed(run, name, split.Train, eps, uint64(s)+400)
-					if err != nil {
-						return fmt.Errorf("fig4 %s/%s: %w", ds, name, err)
-					}
-					samples = append(samples, eval.LinkAUC(split, embScorer(emb)))
-				}
-				o.printf("%-16s", meanSD(samples))
+		grid, err := o.sweepGrid(func(name string, eps float64, s int) (float64, error) {
+			split, err := eval.SplitLinkPrediction(g, 0.1, xrand.New(uint64(s)+300))
+			if err != nil {
+				return 0, err
 			}
-			o.printf("\n")
+			emb, err := o.linkPredEmbed(embedders[name], name, split.Train, eps, uint64(s)+400)
+			if err != nil {
+				return 0, fmt.Errorf("fig4 %s/%s: %w", ds, name, err)
+			}
+			return eval.LinkAUC(split, embScorer(emb)), nil
+		})
+		if err != nil {
+			return err
 		}
+		o.printf("\n[%s] |V|=%d |E|=%d\n", ds, g.NumNodes(), g.NumEdges())
+		o.printGrid(grid)
 	}
 	return nil
 }

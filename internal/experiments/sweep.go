@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel sweep runner: the experiments-level counterpart
+// of core's parallel gradient engine. A sweep is a grid of independent
+// (dataset × ε × method × seed) training runs; each cell derives all of its
+// randomness from its own explicitly assigned seed (never from a shared
+// stream — see the xrand determinism contract), so fanning cells across
+// goroutines changes wall-clock time only, never a printed number. Callers
+// compute every cell into an index-addressed slice first and print after,
+// keeping output byte-identical to the serial harness.
+
+// parallelEach runs fn(0), …, fn(n-1) across at most `workers` goroutines
+// and returns the error of the lowest-indexed failing call, if any. With
+// workers <= 1 it degenerates to a plain loop that stops on first error;
+// in parallel mode in-flight cells finish but no new cell starts after a
+// failure (callers discard all results on error, so skipped slots are
+// never read).
+func parallelEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstI  = n
+		firstEr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstI {
+						firstI, firstEr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// workerCount normalizes Options.Workers for the sweep runner.
+func (o Options) workerCount() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}

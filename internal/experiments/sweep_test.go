@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		var hits [17]atomic.Int32
+		if err := parallelEach(workers, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+	if err := parallelEach(4, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelEachReturnsLowestIndexedError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	err := parallelEach(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want the index-3 error", err)
+	}
+}
+
+// TestSweepOutputWorkerInvariant is the harness-level determinism check:
+// the parallel sweep runner must print byte-identical tables and figures
+// at any worker count, because every cell owns its seed.
+func TestSweepOutputWorkerInvariant(t *testing.T) {
+	runAt := func(workers int) string {
+		var buf bytes.Buffer
+		o := tinyOpts(&buf)
+		o.Workers = workers
+		if err := RunFigure3Datasets(o, []string{"power"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunFigure4Datasets(o, []string{"power"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := RunTable6(o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := runAt(1)
+	for _, w := range []int{2, 5} {
+		if got := runAt(w); got != serial {
+			t.Fatalf("sweep output at %d workers differs from serial", w)
+		}
+	}
+}

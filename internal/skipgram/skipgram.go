@@ -68,8 +68,11 @@ type Grads struct {
 	GOut    [][]float64 // ∂L/∂v_row for each entry of OutRows
 }
 
-// ensure sizes the buffers for dim and k negatives.
-func (g *Grads) ensure(dim, k int) {
+// Ensure sizes the buffers for dim and k negatives. Gradients calls it on
+// every invocation, so callers normally never need to; parallel training
+// engines call it up front to pre-size one Grads per worker (or per batch
+// slot) outside the hot loop, keeping the gradient stage allocation-free.
+func (g *Grads) Ensure(dim, k int) {
 	if cap(g.GIn) < dim {
 		g.GIn = make([]float64, dim)
 	}
@@ -101,7 +104,7 @@ func (g *Grads) ensure(dim, k int) {
 // which is the indicator form Σ_{n=0..k} (σ(v_n·v_i) − I_{v_j}[v_n])·v_n of
 // the paper with n = 0 denoting the positive node.
 func (m *Model) Gradients(ex Example, g *Grads) {
-	g.ensure(m.Dim, len(ex.Negs))
+	g.Ensure(m.Dim, len(ex.Negs))
 	vi := m.Win.Row(int(ex.I))
 	g.InRow = int(ex.I)
 	mathx.Zero(g.GIn)

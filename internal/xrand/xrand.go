@@ -6,6 +6,26 @@
 //
 // Every stochastic component in the repository takes a *xrand.RNG so that
 // experiments are reproducible from a single seed.
+//
+// # Determinism contract under concurrency
+//
+// An *RNG is NOT safe for concurrent use, and — more importantly for
+// reproducibility — the ORDER of draws from a stream is part of a run's
+// identity: the DP noise of core.Train (Eq. 6/9) comes from the same
+// stream as its batch sampling, so any extra or reordered draw changes
+// the published embedding. Parallel code must therefore follow one of two
+// patterns, never "share the stream and lock":
+//
+//  1. Consume nothing. core.Train's parallel gradient stage is randomness
+//     free by construction; only the single-threaded sampling and
+//     noise/update steps touch the run RNG, so worker scheduling can
+//     never consume (or reorder) noise randomness.
+//  2. Split up front. Independent tasks (e.g. the experiments sweep
+//     runner's fan-out over datasets × ε × seeds) each construct their
+//     own stream with New(seed) from an explicitly assigned seed — or
+//     with Split, called on the parent BEFORE the tasks are spawned, in
+//     task order — so per-task randomness is fixed by the task's index,
+//     not by goroutine scheduling.
 package xrand
 
 import "math"
@@ -43,7 +63,10 @@ func New(seed uint64) *RNG {
 }
 
 // Split returns a new RNG deterministically derived from r's stream,
-// suitable for handing to a parallel worker without sharing state.
+// suitable for handing to a parallel worker without sharing state. Call
+// it on the parent stream before spawning workers, in worker order; each
+// call consumes one draw from r (see the package-level determinism
+// contract).
 func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd1342543de82ef95)
 }

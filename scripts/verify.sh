@@ -1,0 +1,10 @@
+#!/bin/sh
+# Tier-1 verification: build, full test suite, and a race-detector pass
+# over the concurrent internals. Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go test ./...
+go test -race ./internal/...
+echo "verify: OK"

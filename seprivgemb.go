@@ -27,7 +27,9 @@ type (
 	Matrix = mathx.Matrix
 	// Proximity is a node-proximity measure (Definition 4).
 	Proximity = proximity.Proximity
-	// Config holds SE-PrivGEmb hyperparameters (Algorithm 2).
+	// Config holds SE-PrivGEmb hyperparameters (Algorithm 2). Its Workers
+	// field parallelizes the per-epoch gradient stage; for a fixed Seed the
+	// Result is bit-identical at every worker count.
 	Config = core.Config
 	// Result is a training outcome; Result.Embedding() is the private Win.
 	Result = core.Result
@@ -99,6 +101,11 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // preference, or the non-private SE-GEmb counterpart when cfg.Private is
 // false. The returned Result.Embedding() satisfies node-level (ε, δ)-RDP
 // converted to (ε, δ)-DP per Theorem 1.
+//
+// Setting cfg.Workers > 1 runs the per-epoch gradient stage on a worker
+// pool. Only the randomness-free gradient computation is parallelized and
+// its reduction replays in batch order, so training remains bit-for-bit
+// deterministic in cfg.Seed regardless of worker count (DESIGN.md §6).
 func Train(g *Graph, prox Proximity, cfg Config) (*Result, error) {
 	return core.Train(g, prox, cfg)
 }
