@@ -1,6 +1,11 @@
 GO ?= go
+# Benchmark → JSON recording for the perf trajectory; bump per PR.
+BENCH_JSON ?= BENCH_pr2.json
+# The sharded-stage benchmarks: the DP noise/update stage, the one-shot
+# graph passes, and the whole-train scaling curve.
+BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers
 
-.PHONY: build test race bench verify
+.PHONY: build test race bench bench-json verify
 
 build:
 	$(GO) build ./...
@@ -17,6 +22,13 @@ race:
 # parallel engine's scaling curve.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Record the sharded-stage benchmarks as JSON (run on a multi-core host to
+# see the worker-count sub-benchmarks separate; single-CPU containers show
+# flat curves). Emits $(BENCH_JSON) in the repo root.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem ./... \
+		| tee /dev/stderr | sh scripts/bench_json.sh > $(BENCH_JSON)
 
 # Tier-1 verification in one command.
 verify: build test race

@@ -23,25 +23,26 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "edge-list file to train on")
-		dataset   = flag.String("dataset", "", "simulated dataset name (alternative to -graph)")
-		scale     = flag.Float64("scale", 0.1, "dataset scale when using -dataset")
-		proxName  = flag.String("prox", "deepwalk", "structure preference (deepwalk, degree, cn, pa, aa, ra, katz, pagerank)")
-		dim       = flag.Int("dim", 128, "embedding dimension r")
-		k         = flag.Int("k", 5, "negative sampling number")
-		batch     = flag.Int("batch", 128, "batch size B")
-		epochs    = flag.Int("epochs", 200, "maximum training epochs")
-		lr        = flag.Float64("lr", 0.1, "learning rate eta")
-		clip      = flag.Float64("clip", 2, "gradient clipping threshold C")
-		sigma     = flag.Float64("sigma", 5, "Gaussian noise multiplier")
-		eps       = flag.Float64("eps", 3.5, "privacy budget epsilon")
-		delta     = flag.Float64("delta", 1e-5, "privacy parameter delta")
-		naive     = flag.Bool("naive", false, "use the naive Eq. (6) perturbation instead of non-zero Eq. (9)")
-		nonPriv   = flag.Bool("non-private", false, "train the non-private SE-GEmb counterpart")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "gradient-stage goroutines (results are seed-deterministic at any count)")
-		outPath   = flag.String("out", "", "write the embedding as TSV to this file")
-		doEval    = flag.Bool("eval", true, "evaluate StrucEqu and link-prediction AUC")
+		graphPath   = flag.String("graph", "", "edge-list file to train on")
+		dataset     = flag.String("dataset", "", "simulated dataset name (alternative to -graph)")
+		scale       = flag.Float64("scale", 0.1, "dataset scale when using -dataset")
+		proxName    = flag.String("prox", "deepwalk", "structure preference (deepwalk, degree, cn, pa, aa, ra, katz, pagerank)")
+		dim         = flag.Int("dim", 128, "embedding dimension r")
+		k           = flag.Int("k", 5, "negative sampling number")
+		batch       = flag.Int("batch", 128, "batch size B")
+		epochs      = flag.Int("epochs", 200, "maximum training epochs")
+		lr          = flag.Float64("lr", 0.1, "learning rate eta")
+		clip        = flag.Float64("clip", 2, "gradient clipping threshold C")
+		sigma       = flag.Float64("sigma", 5, "Gaussian noise multiplier")
+		eps         = flag.Float64("eps", 3.5, "privacy budget epsilon")
+		delta       = flag.Float64("delta", 1e-5, "privacy parameter delta")
+		naive       = flag.Bool("naive", false, "use the naive Eq. (6) perturbation instead of non-zero Eq. (9)")
+		nonPriv     = flag.Bool("non-private", false, "train the non-private SE-GEmb counterpart")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for subgraph generation, the gradient stage and the DP noise/update stage (results are seed-deterministic at any count)")
+		materialize = flag.Bool("materialize", false, "materialize the proximity matrix up front, sharded across -workers (big win for katz/pagerank, whose lazy At recomputes a row per call)")
+		outPath     = flag.String("out", "", "write the embedding as TSV to this file")
+		doEval      = flag.Bool("eval", true, "evaluate StrucEqu and link-prediction AUC")
 	)
 	flag.Parse()
 
@@ -75,6 +76,12 @@ func main() {
 	if cfg.BatchSize > g.NumEdges() {
 		cfg.BatchSize = g.NumEdges()
 		fmt.Printf("note: batch clamped to |E| = %d\n", cfg.BatchSize)
+	}
+	if *materialize {
+		// Row-lazy measures (Katz, PageRank) recompute a whole row per At
+		// call; materializing once — sharded across the workers — makes
+		// the per-edge weight pass a binary search instead.
+		prox = seprivgemb.MaterializeProximity(prox, *workers)
 	}
 
 	res, err := seprivgemb.Train(g, prox, cfg)

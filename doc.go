@@ -20,11 +20,14 @@
 // (Definition 5); by Theorem 2 any downstream computation on it — including
 // both evaluation tasks in this package — retains that guarantee.
 //
-// Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs the
-// per-epoch gradient stage on a goroutine pool that preserves bit-identical
-// results at every worker count (DESIGN.md §6). The experiments harness
-// offers the same guarantee one level up: independent sweep runs fan across
-// goroutines without changing a printed number.
+// Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs
+// subgraph generation, the per-epoch gradient stage AND the DP noise/update
+// stage on goroutine pools that preserve bit-identical results at every
+// worker count — the noise is addressed by (epoch, matrix, row, coordinate)
+// on a counter-based random stream rather than drawn sequentially
+// (DESIGN.md §6). The experiments harness offers the same guarantee one
+// level up: independent sweep runs fan across goroutines without changing
+// a printed number.
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 // reproduction of every table and figure in the paper's evaluation.

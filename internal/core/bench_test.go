@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+// BenchmarkApplyUpdate measures the perturb-and-apply stage in isolation —
+// the serial tail PR 2 shards. Sub-benchmarks are strategy × worker count;
+// the output matrix is bit-identical across worker counts (the stage's
+// determinism contract), so sub-benchmarks differ in wall-clock and
+// per-worker CPU split only. Allocations should stay flat across worker
+// counts: the accumulator pool is pre-sized and noise is computed in
+// registers off the counter stream. Speedups manifest on multi-core hosts;
+// see `make bench-json` / BENCH_pr2.json for the recorded trajectory.
+func BenchmarkApplyUpdate(b *testing.B) {
+	const numNodes = 4096
+	strategies := []struct {
+		label string
+		s     Strategy
+	}{
+		{"naive", StrategyNaive},
+		{"nonzero", StrategyNonZero},
+	}
+	for _, strat := range strategies {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%sx%d", strat.label, workers), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.Dim = 64
+				cfg.Strategy = strat.s
+				cfg.Workers = workers
+				// Populate an accumulator with a realistic touched-row set:
+				// (k+2)·B adds spread over the node range.
+				acc := newRowAccumulator(cfg.Dim, (cfg.K+2)*cfg.BatchSize)
+				rng := xrand.New(7)
+				gvec := make([]float64, cfg.Dim)
+				for i := 0; i < (cfg.K+2)*cfg.BatchSize; i++ {
+					rng.NormalVec(gvec, 1)
+					acc.add(int32(rng.Intn(numNodes)), gvec)
+				}
+				w := mathx.NewMatrix(numNodes, cfg.Dim)
+				eng := newEngine(nil, nil, nil, cfg, xrand.NewStream(1))
+				defer eng.close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.applyUpdate(w, acc, i, matWin)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGenerateSubgraphs tracks Algorithm 1's sharded one-shot pass.
+func BenchmarkGenerateSubgraphs(b *testing.B) {
+	g := graph.BarabasiAlbert(4000, 5, xrand.New(3))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rng := xrand.New(uint64(i))
+				if _, err := GenerateSubgraphsWorkers(g, 5, NegUniform, rng, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,22 +1,28 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"seprivgemb/internal/dp"
+	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/skipgram"
+	"seprivgemb/internal/xrand"
 )
 
-// This file implements the deterministic parallel gradient engine behind
-// Train. Each epoch of Algorithm 2 splits into two stages:
+// This file implements the deterministic parallel engine behind Train.
+// Each epoch of Algorithm 2 splits into two stages, both of which run on
+// one persistent worker pool:
 //
-//  1. Gradient stage (parallelizable): for every sampled subgraph compute
-//     the loss and the per-example clipped gradients. The model is
-//     read-only here and — critically — this stage consumes NO randomness,
-//     so worker scheduling can never perturb the run's random stream.
-//  2. Update stage (single-threaded): reduce the per-example gradients
-//     into the row accumulators, then perturb and apply them with noise
-//     drawn from the run RNG in sorted-row order (see applyUpdate).
+//  1. Gradient stage: for every sampled subgraph compute the loss and the
+//     per-example clipped gradients. The model is read-only here and the
+//     stage consumes NO randomness, so worker scheduling can never perturb
+//     the run's random stream (xrand contract pattern 1).
+//  2. Update stage: reduce the per-example gradients into the row
+//     accumulators single-threaded (in batch order), then perturb-and-apply
+//     sharded across the pool, with noise addressed by
+//     (epoch, matrix, row, coordinate) on a counter-based stream (xrand
+//     contract pattern 3) — see applyUpdate.
 //
 // Determinism contract: a fixed Config.Seed yields bit-identical Results
 // at every worker count, and Workers > 1 matches the serial Workers <= 1
@@ -29,14 +35,18 @@ import (
 // the paper's settings) and a serial reduction that is ~6x cheaper than
 // the gradient computation it orders.
 //
-// Synchronization: slots are disjoint per batch position, so workers never
-// share a write target. The jobs channel send happens-before the worker's
-// reads, and wg.Wait happens-after its writes, so each epoch's update
-// stage (and the next epoch's model mutation) is properly ordered against
-// the gradient stage without locks.
+// The update stage needs no reduction at all: noise is a pure function of
+// its (epoch, matrix, row, coordinate) index, rows are disjoint write
+// targets, and each row's arithmetic is confined to one worker, so the
+// shard layout cannot move a single floating-point operation.
+//
+// Synchronization: slots (stage 1) and rows (stage 2) are disjoint per
+// work item, so workers never share a write target. The jobs channel send
+// happens-before the worker's reads, and wg.Wait happens-after its
+// writes, so consecutive stages are properly ordered without locks.
 
-// span is a half-open range [lo, hi) of batch positions handed to one
-// worker as a unit of work.
+// span is a half-open range [lo, hi) of work positions handed to one
+// worker as a unit.
 type span struct{ lo, hi int }
 
 // slot holds the gradient stage's output for one batch position.
@@ -45,14 +55,34 @@ type slot struct {
 	grads skipgram.Grads
 }
 
-// engine runs the per-epoch gradient stage of Algorithm 2, serially for
+// Matrix identifiers for the noise-stream key space: Win and Wout noise
+// must come from disjoint keys even when they perturb the same row index
+// in the same epoch.
+const (
+	matWin uint64 = iota
+	matWout
+)
+
+// noiseKey packs the (epoch, matrix, row) address of one row's noise into
+// the 64-bit key of the run's counter stream; the coordinate is the
+// counter. Layout: epoch in the high 30 bits, matrix in bit 33, row in
+// the low 33 bits — supporting |V| < 2^33 and epochs < 2^30, both far
+// beyond the accountant's reach at any realistic budget.
+func noiseKey(epoch int, matrix uint64, row int) uint64 {
+	return uint64(epoch)<<34 | matrix<<33 | uint64(row)
+}
+
+// engine runs the per-epoch stages of Algorithm 2, serially for
 // workers <= 1 and over a persistent goroutine pool otherwise.
 type engine struct {
 	model   *skipgram.Model
 	subs    []Subgraph
 	weights []float64
-	clip    float64
+	cfg     Config
 	workers int
+	// noise is the run's counter-based noise stream (private runs only);
+	// the zero Stream for non-private runs, which never read it.
+	noise xrand.Stream
 
 	// Serial scratch (workers <= 1): one slot reused across examples,
 	// exactly the pre-engine training loop.
@@ -61,25 +91,35 @@ type engine struct {
 	// Parallel state (workers > 1).
 	slots []slot // one per batch position, disjoint write targets
 	idx   []int  // current epoch's sampled subgraph indices
+	task  func(lo, hi int)
 	jobs  chan span
 	wg    sync.WaitGroup
 }
 
-// newEngine builds the gradient engine for one Train call. For workers > 1
-// it pre-sizes one slot per batch position and starts the worker pool;
-// close must be called to release the goroutines.
-func newEngine(model *skipgram.Model, subs []Subgraph, weights []float64, cfg Config) *engine {
+// newEngine builds the engine for one Train call. For workers > 1 it
+// pre-sizes one slot per batch position and starts the worker pool; close
+// must be called to release the goroutines. model may be nil when the
+// engine is used for the update stage only (tests, benchmarks).
+func newEngine(model *skipgram.Model, subs []Subgraph, weights []float64, cfg Config, noise xrand.Stream) *engine {
 	e := &engine{
 		model:   model,
 		subs:    subs,
 		weights: weights,
-		clip:    cfg.Clip,
+		cfg:     cfg,
 		workers: cfg.Workers,
+		noise:   noise,
 	}
-	// splitSpans never produces more than one span per batch position, so
-	// extra goroutines would only idle; clamp before spawning them.
-	if e.workers > cfg.BatchSize {
-		e.workers = cfg.BatchSize
+	// Cap the pool at the widest stage it can ever serve: the gradient
+	// stage offers at most BatchSize positions, but StrategyNaive's update
+	// shards all |V| rows of the model, which can far exceed B. Goroutines
+	// beyond the per-dispatch span count just block on the channel, so the
+	// clamp only avoids spawning goroutines NO stage could use.
+	maxShard := cfg.BatchSize
+	if model != nil && model.Win.Rows > maxShard {
+		maxShard = model.Win.Rows
+	}
+	if e.workers > maxShard {
+		e.workers = maxShard
 	}
 	if e.workers > 1 {
 		e.slots = make([]slot, cfg.BatchSize)
@@ -101,15 +141,34 @@ func (e *engine) close() {
 	}
 }
 
-// workerLoop drains spans of batch positions, computing each position's
-// loss and clipped gradients into its slot.
+// workerLoop drains spans, running the engine's current task on each.
 func (e *engine) workerLoop() {
 	for sp := range e.jobs {
-		for i := sp.lo; i < sp.hi; i++ {
-			e.computeSub(e.idx[i], &e.slots[i])
-		}
+		e.task(sp.lo, sp.hi)
 		e.wg.Done()
 	}
+}
+
+// forSpans runs task over [0, n) — inline when serial, sharded into
+// near-equal contiguous spans across the pool otherwise. Dispatch is
+// always from the single Train goroutine, so installing e.task before the
+// sends is race-free (the channel send happens-before the worker's read).
+func (e *engine) forSpans(n int, task func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if e.jobs == nil || e.workers <= 1 || n == 1 {
+		task(0, n)
+		return
+	}
+	spans := splitSpans(n, e.workers)
+	e.task = task
+	e.wg.Add(len(spans))
+	for _, sp := range spans {
+		e.jobs <- sp
+	}
+	e.wg.Wait()
+	e.task = nil
 }
 
 // computeSub fills sl with subgraph si's loss and clipped gradients at the
@@ -120,12 +179,12 @@ func (e *engine) computeSub(si int, sl *slot) {
 	ex := skipgram.Example{I: s.I, J: s.J, Negs: s.Negs, W: e.weights[si]}
 	sl.loss = e.model.Loss(ex)
 	e.model.Gradients(ex, &sl.grads)
-	if e.clip > 0 {
+	if e.cfg.Clip > 0 {
 		// Per-example clipping (Eq. (3)): the Win part is the single row
 		// ∂L/∂v_i; the Wout part is the joint gradient over its k+1
 		// touched rows.
-		dp.Clip(sl.grads.GIn, e.clip)
-		clipJoint(sl.grads.GOut, e.clip)
+		dp.Clip(sl.grads.GIn, e.cfg.Clip)
+		clipJoint(sl.grads.GOut, e.cfg.Clip)
 	}
 }
 
@@ -144,16 +203,15 @@ func accumulate(sl *slot, accIn, accOut *rowAccumulator) {
 // loss. Reduction is always in batch order, so the result is bit-identical
 // to the serial loop regardless of worker count.
 func (e *engine) gradientStage(idx []int, accIn, accOut *rowAccumulator) float64 {
-	if e.workers <= 1 {
+	if e.jobs == nil {
 		return e.gradientStageSerial(idx, accIn, accOut)
 	}
 	e.idx = idx
-	spans := splitSpans(len(idx), e.workers)
-	e.wg.Add(len(spans))
-	for _, sp := range spans {
-		e.jobs <- sp
-	}
-	e.wg.Wait()
+	e.forSpans(len(idx), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.computeSub(e.idx[i], &e.slots[i])
+		}
+	})
 
 	var lossSum float64
 	for i := range idx {
@@ -173,6 +231,90 @@ func (e *engine) gradientStageSerial(idx []int, accIn, accOut *rowAccumulator) f
 		accumulate(&e.scratch, accIn, accOut)
 	}
 	return lossSum
+}
+
+// applyUpdate perturbs the accumulated batch gradient per the configured
+// strategy and applies W -= η·(Σ clipped grads + noise), Eq. (6)/(9),
+// sharding rows across the worker pool.
+//
+// Batch semantics: the B clipped example gradients are summed, not
+// averaged. Eq. (9) writes a 1/B prefactor, but folding it into η (i.e.
+// η_eff = η/B) leaves per-example steps of ~η·C/B ≈ 1.6e-3·C at the
+// paper's B=128 — far too small for any row to leave its initialization
+// within the paper's n_epoch budget, for private and non-private runs
+// alike. Summing (the per-example-SGD semantics DeepWalk-family trainers
+// use) reproduces the paper's reported utility levels and orderings; see
+// DESIGN.md §5 for the calibration analysis. Privacy is unaffected: the
+// noise is scaled to the same sensitivity as the summed gradient, and a
+// common post-factor η is post-processing.
+//
+// Noise is index-addressed, not drawn sequentially: coordinate d of row r
+// receives sd·NormalAt(d) on the substream keyed by (epoch, matrix, r).
+// The draw is a pure function of that address (DESIGN.md §6 pattern 3),
+// so sharding rows across workers — in any layout, at any count — yields
+// bit-identical matrices, and each row's noise is also independent of
+// which other rows the batch touched.
+func (e *engine) applyUpdate(w *mathx.Matrix, acc *rowAccumulator, epoch int, matrix uint64) {
+	cfg := &e.cfg
+	lr := cfg.LearningRate
+	if !cfg.Private {
+		rows := acc.sortedRows()
+		e.forSpans(len(rows), func(lo, hi int) {
+			for _, row := range rows[lo:hi] {
+				mathx.AXPY(-lr, acc.rows[row], w.Row(int(row)))
+			}
+		})
+		return
+	}
+	switch cfg.Strategy {
+	case StrategyNonZero:
+		// Eq. (9): Ñ adds noise only to non-zero rows, at the per-row
+		// sensitivity C tolerated by the mechanism.
+		sd := cfg.Clip * cfg.Sigma
+		rows := acc.sortedRows()
+		e.forSpans(len(rows), func(lo, hi int) {
+			for _, row := range rows[lo:hi] {
+				e.perturbRow(w.Row(int(row)), acc.rows[row], epoch, matrix, int(row), lr, sd)
+			}
+		})
+	case StrategyNaive:
+		// Eq. (6): noise at the worst-case sensitivity S_∇v = B·C lands on
+		// every row of the |V|×r gradient, touched or not.
+		sd := float64(cfg.BatchSize) * cfg.Clip * cfg.Sigma
+		e.forSpans(w.Rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				e.perturbRow(w.Row(r), acc.rows[int32(r)], epoch, matrix, r, lr, sd)
+			}
+		})
+	default:
+		panic(fmt.Sprintf("core: unknown strategy %v", cfg.Strategy))
+	}
+}
+
+// perturbRow applies dst[d] -= lr·(g[d] + sd·noise(epoch, matrix, row, d))
+// for every coordinate d, walking Box–Muller pairs to amortize the
+// transcendentals. g may be nil (an untouched row under StrategyNaive).
+// dp.GaussianMechanismAt is the standalone form of this pair walk; it is
+// fused with the gradient subtraction here so the hot path makes a single
+// pass over the row.
+func (e *engine) perturbRow(dst, g []float64, epoch int, matrix uint64, row int, lr, sd float64) {
+	sub := e.noise.Derive(noiseKey(epoch, matrix, row))
+	dim := len(dst)
+	gv := func(d int) float64 {
+		if g == nil {
+			return 0
+		}
+		return g[d]
+	}
+	d := 0
+	for ; d+1 < dim; d += 2 {
+		z0, z1 := sub.NormalPairAt(uint64(d) / 2)
+		dst[d] -= lr * (gv(d) + sd*z0)
+		dst[d+1] -= lr * (gv(d+1) + sd*z1)
+	}
+	if d < dim {
+		dst[d] -= lr * (gv(d) + sd*sub.NormalAt(uint64(d)))
+	}
 }
 
 // splitSpans cuts [0, n) into at most w contiguous non-empty spans of

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/proximity"
 	"seprivgemb/internal/xrand"
 )
@@ -91,7 +92,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				cfg.Clip = 0
 			}
 			serial := trainWorkers(t, g, cfg, 1)
-			for _, w := range []int{2, 4, 7} {
+			for _, w := range []int{2, 4, 7, 8} {
 				par := trainWorkers(t, g, cfg, w)
 				assertBitIdentical(t, serial, par, fmt.Sprintf("workers=%d", w))
 			}
@@ -116,6 +117,103 @@ func TestWorkersExceedingBatch(t *testing.T) {
 	cfg.BatchSize = 5
 	cfg.MaxEpochs = 6
 	assertBitIdentical(t, trainWorkers(t, g, cfg, 1), trainWorkers(t, g, cfg, 16), "workers=16,B=5")
+}
+
+// TestApplyUpdateParallelMatchesSerial drives the sharded perturb-and-apply
+// stage directly: for both strategies, every worker count must produce the
+// bit-identical matrix, because noise is a pure function of
+// (epoch, matrix, row, coordinate) rather than of draw order.
+func TestApplyUpdateParallelMatchesSerial(t *testing.T) {
+	const (
+		numRows = 64
+		touched = 40
+	)
+	for _, strat := range []Strategy{StrategyNonZero, StrategyNaive} {
+		for _, private := range []bool{true, false} {
+			if !private && strat == StrategyNaive {
+				continue // strategy is irrelevant on the non-private path
+			}
+			name := fmt.Sprintf("%v/private=%v", strat, private)
+			t.Run(name, func(t *testing.T) {
+				base := smallConfig()
+				base.Private = private
+				base.Strategy = strat
+				// Build one accumulator shared (read-only) by all runs.
+				acc := newRowAccumulator(base.Dim, touched)
+				grng := xrand.New(31)
+				gvec := make([]float64, base.Dim)
+				for i := 0; i < touched; i++ {
+					grng.NormalVec(gvec, 1)
+					acc.add(int32(grng.Intn(numRows)), gvec)
+				}
+				init := mathx.NewMatrix(numRows, base.Dim)
+				grng.NormalVec(init.Data, 1)
+
+				run := func(workers int) *mathx.Matrix {
+					cfg := base
+					cfg.Workers = workers
+					w := init.Clone()
+					for epoch := 0; epoch < 3; epoch++ {
+						for _, mat := range []uint64{matWin, matWout} {
+							applyWith(cfg, w, acc, epoch, mat, 17)
+						}
+					}
+					return w
+				}
+				serial := run(1)
+				for _, workers := range []int{2, 4, 7} {
+					par := run(workers)
+					for i := range serial.Data {
+						if math.Float64bits(serial.Data[i]) != math.Float64bits(par.Data[i]) {
+							t.Fatalf("workers=%d: data[%d] = %v vs serial %v",
+								workers, i, par.Data[i], serial.Data[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGenerateSubgraphsWorkersMatchSerial pins Algorithm 1's per-edge
+// index-addressed sampling: any worker count must reproduce the serial
+// subgraph list exactly, and consume the same single draw from the parent
+// RNG.
+func TestGenerateSubgraphsWorkersMatchSerial(t *testing.T) {
+	g := graph.BarabasiAlbert(70, 3, xrand.New(5))
+	for _, ns := range []NegSampling{NegUniform, NegDegree} {
+		serialRNG := xrand.New(9)
+		serial, err := GenerateSubgraphsWorkers(g, 5, ns, serialRNG, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nextDraw := serialRNG.Uint64() // parent state after generation
+		for _, workers := range []int{2, 4, 7} {
+			parRNG := xrand.New(9)
+			par, err := GenerateSubgraphsWorkers(g, 5, ns, parRNG, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("ns=%v workers=%d: %d subgraphs vs %d", ns, workers, len(par), len(serial))
+			}
+			for si := range serial {
+				a, b := serial[si], par[si]
+				if a.I != b.I || a.J != b.J {
+					t.Fatalf("ns=%v workers=%d: subgraph %d pair (%d,%d) vs (%d,%d)",
+						ns, workers, si, b.I, b.J, a.I, a.J)
+				}
+				for x := range a.Negs {
+					if a.Negs[x] != b.Negs[x] {
+						t.Fatalf("ns=%v workers=%d: subgraph %d neg %d differs", ns, workers, si, x)
+					}
+				}
+			}
+			if parRNG.Uint64() != nextDraw {
+				t.Fatalf("ns=%v workers=%d: parent RNG consumption differs", ns, workers)
+			}
+		}
+	}
 }
 
 func TestWorkersValidation(t *testing.T) {

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/xrand"
@@ -60,6 +61,16 @@ type Subgraph struct {
 // accepted with only the self-exclusion, which can only occur for nodes
 // adjacent to almost every other node.
 func GenerateSubgraphs(g *graph.Graph, k int, ns NegSampling, rng *xrand.RNG) ([]Subgraph, error) {
+	return GenerateSubgraphsWorkers(g, k, ns, rng, 1)
+}
+
+// GenerateSubgraphsWorkers is GenerateSubgraphs sharded across `workers`
+// goroutines. Each edge's randomness — orientation coin plus negative
+// sampling — comes from a sequential RNG seeded off a counter stream at
+// the edge's index (xrand contract pattern 3), so the result is
+// bit-identical at every worker count; the parent rng is consumed exactly
+// once (for the stream root) regardless of workers.
+func GenerateSubgraphsWorkers(g *graph.Graph, k int, ns NegSampling, rng *xrand.RNG, workers int) ([]Subgraph, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: negative sampling number k=%d must be >= 1", k)
 	}
@@ -79,42 +90,63 @@ func GenerateSubgraphs(g *graph.Graph, k int, ns NegSampling, rng *xrand.RNG) ([
 			return nil, fmt.Errorf("core: degree negative sampling: %w", err)
 		}
 	}
-	draw := func() int {
-		if degreeAlias != nil {
-			return degreeAlias.Sample(rng)
-		}
-		return rng.Intn(n)
-	}
 	const maxTries = 256
-	subs := make([]Subgraph, 0, g.NumEdges())
-	for _, e := range g.Edges() {
-		// Orient the undirected edge uniformly at random so that center
-		// updates (which Algorithm 1 ties to the first endpoint) spread
-		// over both endpoints rather than favoring low node IDs.
-		i, j := e.U, e.V
-		if rng.Float64() < 0.5 {
-			i, j = j, i
-		}
-		s := Subgraph{I: i, J: j, Negs: make([]int32, 0, k)}
-		for t := 0; t < k; t++ {
-			var vn int
-			ok := false
-			for tries := 0; tries < maxTries; tries++ {
-				vn = draw()
-				if vn != int(i) && !g.HasEdge(int(i), vn) {
-					ok = true
-					break
-				}
+	st := xrand.NewStream(rng.Uint64())
+	edges := g.Edges()
+	subs := make([]Subgraph, len(edges))
+	// One backing array for all negative lists: |E|·k int32s, sliced per
+	// edge — disjoint write targets for the workers, one allocation total.
+	negs := make([]int32, len(edges)*k)
+	gen := func(lo, hi int) {
+		var erng xrand.RNG // one reseedable RNG per span, not per edge
+		for ei := lo; ei < hi; ei++ {
+			erng.Reseed(st.Derive(uint64(ei)).Uint64At(0))
+			// Orient the undirected edge uniformly at random so that center
+			// updates (which Algorithm 1 ties to the first endpoint) spread
+			// over both endpoints rather than favoring low node IDs.
+			i, j := edges[ei].U, edges[ei].V
+			if erng.Float64() < 0.5 {
+				i, j = j, i
 			}
-			if !ok {
-				// Near-complete neighborhood: fall back to any non-self node.
-				for vn == int(i) {
-					vn = rng.Intn(n)
+			s := Subgraph{I: i, J: j, Negs: negs[ei*k : ei*k : (ei+1)*k]}
+			for t := 0; t < k; t++ {
+				var vn int
+				ok := false
+				for tries := 0; tries < maxTries; tries++ {
+					if degreeAlias != nil {
+						vn = degreeAlias.Sample(&erng)
+					} else {
+						vn = erng.Intn(n)
+					}
+					if vn != int(i) && !g.HasEdge(int(i), vn) {
+						ok = true
+						break
+					}
 				}
+				if !ok {
+					// Near-complete neighborhood: fall back to any non-self node.
+					for vn == int(i) {
+						vn = erng.Intn(n)
+					}
+				}
+				s.Negs = append(s.Negs, int32(vn))
 			}
-			s.Negs = append(s.Negs, int32(vn))
+			subs[ei] = s
 		}
-		subs = append(subs, s)
 	}
+	spans := splitSpans(len(edges), workers)
+	if len(spans) <= 1 {
+		gen(0, len(edges))
+		return subs, nil
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for _, sp := range spans {
+		go func(sp span) {
+			defer wg.Done()
+			gen(sp.lo, sp.hi)
+		}(sp)
+	}
+	wg.Wait()
 	return subs, nil
 }

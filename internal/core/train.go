@@ -57,10 +57,13 @@ type Config struct {
 	NegSampling  NegSampling
 	Private      bool   // false trains the non-private SE-GEmb counterpart
 	Seed         uint64 // seeds all randomness of the run
-	// Workers sets the goroutine count of the per-epoch gradient stage.
-	// 0 and 1 both select the serial path; any value yields bit-identical
-	// results for a fixed Seed (see parallel.go for the determinism
-	// contract), so Workers trades only wall-clock time, never output.
+	// Workers sets the goroutine count of the parallel stages: subgraph
+	// generation, the per-epoch gradient stage, and the perturb-and-apply
+	// update stage (whose DP noise is addressed by (epoch, matrix, row)
+	// on a counter-based stream rather than drawn sequentially). 0 and 1
+	// both select the serial path; any value yields bit-identical results
+	// for a fixed Seed (see parallel.go for the determinism contract), so
+	// Workers trades only wall-clock time, never output.
 	Workers int
 }
 
@@ -145,18 +148,20 @@ func (r *Result) Embedding() *mathx.Matrix { return r.Model.Win }
 // preference. The proximity argument supplies the per-edge weights p_ij of
 // the Eq. (5) objective.
 //
-// With cfg.Workers > 1 the per-epoch gradient stage runs on a goroutine
-// pool; the result is bit-identical to the serial run at every worker
-// count because only the randomness-free gradient computation is
-// parallelized and its reduction replays in batch order (parallel.go).
+// With cfg.Workers > 1 subgraph generation, the per-epoch gradient stage
+// and the noise/update stage all run on goroutine pools; the result is
+// bit-identical to the serial run at every worker count because every
+// parallel stage either consumes no randomness or addresses its draws by
+// stable indices on counter-based streams (parallel.go, DESIGN.md §6).
 func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error) {
 	if err := cfg.validate(g); err != nil {
 		return nil, err
 	}
 	rng := xrand.New(cfg.Seed)
 
-	// Line 2: divide the graph into disjoint subgraphs.
-	subs, err := GenerateSubgraphs(g, cfg.K, cfg.NegSampling, rng)
+	// Line 2: divide the graph into disjoint subgraphs, sharded across
+	// cfg.Workers with per-edge index-addressed randomness.
+	subs, err := GenerateSubgraphsWorkers(g, cfg.K, cfg.NegSampling, rng, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -182,16 +187,27 @@ func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error
 	model := skipgram.New(g.NumNodes(), cfg.Dim, rng)
 
 	var acct *dp.Accountant
+	var noise xrand.Stream
 	if cfg.Private {
 		acct = dp.NewAccountant(nil)
+		// The DP noise of Eq. (6)/(9) comes from a counter-based stream
+		// rooted here (one draw off the run RNG), addressed by
+		// (epoch, matrix, row, coordinate) instead of drawn sequentially,
+		// so the update stage can shard across workers (parallel.go).
+		// Non-private runs skip the draw: their RNG sequence is identical
+		// to the pre-stream layout.
+		noise = xrand.NewStream(rng.Uint64())
 	}
 	gamma := float64(cfg.BatchSize) / float64(g.NumEdges())
 
 	res := &Result{Model: model}
-	eng := newEngine(model, subs, weights, cfg)
+	eng := newEngine(model, subs, weights, cfg, noise)
 	defer eng.close()
-	accIn := newRowAccumulator(cfg.Dim)
-	accOut := newRowAccumulator(cfg.Dim)
+	// An epoch touches at most B distinct Win rows (one center per
+	// example) and (k+1)·B distinct Wout rows; pre-sizing the pools keeps
+	// the accumulators allocation-free on the hot path.
+	accIn := newRowAccumulator(cfg.Dim, cfg.BatchSize)
+	accOut := newRowAccumulator(cfg.Dim, (cfg.K+1)*cfg.BatchSize)
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
 		// Line 5: sample B subgraphs uniformly at random (without
 		// replacement; Definition 6 with γ = B/|E|).
@@ -203,9 +219,10 @@ func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error
 		lossSum := eng.gradientStage(idx, accIn, accOut)
 		res.LossHistory = append(res.LossHistory, lossSum/float64(cfg.BatchSize))
 
-		// Lines 6–7: perturb and apply the updates to Win and Wout.
-		applyUpdate(model.Win, accIn, cfg, rng)
-		applyUpdate(model.Wout, accOut, cfg, rng)
+		// Lines 6–7: perturb and apply the updates to Win and Wout,
+		// sharded across the pool with index-addressed noise.
+		eng.applyUpdate(model.Win, accIn, epoch, matWin)
+		eng.applyUpdate(model.Wout, accOut, epoch, matWout)
 		res.Epochs = epoch + 1
 
 		// Lines 8–10: update the RDP accountant with sampling probability
@@ -244,20 +261,36 @@ func clipJoint(rows [][]float64, c float64) {
 }
 
 // rowAccumulator sums per-example gradient rows into a sparse matrix-shaped
-// accumulator keyed by row index.
+// accumulator keyed by row index. The pool is pre-sized at construction
+// (one contiguous backing array), so the per-epoch hot path neither
+// allocates nor zeroes: the first add to a row copies over whatever the
+// pooled vector last held, and later adds accumulate in place.
 type rowAccumulator struct {
 	dim  int
 	rows map[int32][]float64
 	pool [][]float64
 }
 
-func newRowAccumulator(dim int) *rowAccumulator {
-	return &rowAccumulator{dim: dim, rows: make(map[int32][]float64)}
+// newRowAccumulator pre-sizes the pool for maxRows distinct touched rows.
+// add falls back to a fresh allocation only if a caller underestimates
+// maxRows, so sizing is a performance contract, not a correctness one.
+func newRowAccumulator(dim, maxRows int) *rowAccumulator {
+	a := &rowAccumulator{dim: dim, rows: make(map[int32][]float64, maxRows)}
+	if maxRows > 0 {
+		backing := make([]float64, dim*maxRows)
+		a.pool = make([][]float64, maxRows)
+		for i := range a.pool {
+			a.pool[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
+		}
+	}
+	return a
 }
 
+// reset returns every touched row to the pool. Rows are NOT zeroed: add
+// overwrites on first touch, so clearing here would be redundant work on
+// the hot path.
 func (a *rowAccumulator) reset() {
 	for k, v := range a.rows {
-		mathx.Zero(v)
 		a.pool = append(a.pool, v)
 		delete(a.rows, k)
 	}
@@ -273,72 +306,20 @@ func (a *rowAccumulator) sortedRows() []int32 {
 	return rows
 }
 
+// add accumulates g into the row's running sum, claiming (and fully
+// overwriting) a pooled vector on the row's first touch of the epoch.
 func (a *rowAccumulator) add(row int32, g []float64) {
-	dst, ok := a.rows[row]
-	if !ok {
-		if n := len(a.pool); n > 0 {
-			dst = a.pool[n-1]
-			a.pool = a.pool[:n-1]
-		} else {
-			dst = make([]float64, a.dim)
-		}
-		a.rows[row] = dst
-	}
-	mathx.AXPY(1, g, dst)
-}
-
-// applyUpdate perturbs the accumulated batch gradient per the configured
-// strategy and applies W -= η·(Σ clipped grads + noise), Eq. (6)/(9).
-//
-// Batch semantics: the B clipped example gradients are summed, not
-// averaged. Eq. (9) writes a 1/B prefactor, but folding it into η (i.e.
-// η_eff = η/B) leaves per-example steps of ~η·C/B ≈ 1.6e-3·C at the
-// paper's B=128 — far too small for any row to leave its initialization
-// within the paper's n_epoch budget, for private and non-private runs
-// alike. Summing (the per-example-SGD semantics DeepWalk-family trainers
-// use) reproduces the paper's reported utility levels and orderings; see
-// DESIGN.md §5 for the calibration analysis. Privacy is unaffected: the
-// noise is scaled to the same sensitivity as the summed gradient, and a
-// common post-factor η is post-processing.
-//
-// Rows are visited in sorted order so that noise assignment — and
-// therefore the whole run — is deterministic for a fixed seed.
-func applyUpdate(w *mathx.Matrix, acc *rowAccumulator, cfg Config, rng *xrand.RNG) {
-	lr := cfg.LearningRate
-	if !cfg.Private {
-		for _, row := range acc.sortedRows() {
-			mathx.AXPY(-lr, acc.rows[row], w.Row(int(row)))
-		}
+	if dst, ok := a.rows[row]; ok {
+		mathx.AXPY(1, g, dst)
 		return
 	}
-	switch cfg.Strategy {
-	case StrategyNonZero:
-		// Eq. (9): Ñ adds noise only to non-zero rows, at the per-row
-		// sensitivity C tolerated by the mechanism.
-		sd := cfg.Clip * cfg.Sigma
-		for _, row := range acc.sortedRows() {
-			g := acc.rows[row]
-			dst := w.Row(int(row))
-			for d := 0; d < cfg.Dim; d++ {
-				dst[d] -= lr * (g[d] + sd*rng.Normal())
-			}
-		}
-	case StrategyNaive:
-		// Eq. (6): noise at the worst-case sensitivity S_∇v = B·C lands on
-		// every row of the |V|×r gradient, touched or not.
-		sd := float64(cfg.BatchSize) * cfg.Clip * cfg.Sigma
-		for r := 0; r < w.Rows; r++ {
-			dst := w.Row(r)
-			g := acc.rows[int32(r)]
-			for d := 0; d < cfg.Dim; d++ {
-				gv := 0.0
-				if g != nil {
-					gv = g[d]
-				}
-				dst[d] -= lr * (gv + sd*rng.Normal())
-			}
-		}
-	default:
-		panic(fmt.Sprintf("core: unknown strategy %v", cfg.Strategy))
+	var dst []float64
+	if n := len(a.pool); n > 0 {
+		dst = a.pool[n-1]
+		a.pool = a.pool[:n-1]
+	} else {
+		dst = make([]float64, a.dim)
 	}
+	copy(dst, g)
+	a.rows[row] = dst
 }

@@ -162,16 +162,24 @@ func TestTrainValidation(t *testing.T) {
 	}
 }
 
+// applyWith runs one perturb-and-apply pass through a fresh engine at the
+// config's worker count, seeding the noise stream directly.
+func applyWith(cfg Config, w *mathx.Matrix, acc *rowAccumulator, epoch int, matrix uint64, noiseSeed uint64) {
+	eng := newEngine(nil, nil, nil, cfg, xrand.NewStream(noiseSeed))
+	defer eng.close()
+	eng.applyUpdate(w, acc, epoch, matrix)
+}
+
 func TestApplyUpdateNonZeroTouchesOnlyAccumulatedRows(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Strategy = StrategyNonZero
 	w := mathx.NewMatrix(10, cfg.Dim)
 	orig := w.Clone()
-	acc := newRowAccumulator(cfg.Dim)
+	acc := newRowAccumulator(cfg.Dim, 4)
 	gvec := make([]float64, cfg.Dim)
 	gvec[0] = 1
 	acc.add(3, gvec)
-	applyUpdate(w, acc, cfg, xrand.New(5))
+	applyWith(cfg, w, acc, 0, matWin, 5)
 	for r := 0; r < 10; r++ {
 		changed := false
 		for d := 0; d < cfg.Dim; d++ {
@@ -193,8 +201,8 @@ func TestApplyUpdateNaiveTouchesAllRows(t *testing.T) {
 	cfg.Strategy = StrategyNaive
 	w := mathx.NewMatrix(10, cfg.Dim)
 	orig := w.Clone()
-	acc := newRowAccumulator(cfg.Dim)
-	applyUpdate(w, acc, cfg, xrand.New(6))
+	acc := newRowAccumulator(cfg.Dim, 4)
+	applyWith(cfg, w, acc, 0, matWin, 6)
 	for r := 0; r < 10; r++ {
 		changed := false
 		for d := 0; d < cfg.Dim; d++ {
@@ -218,9 +226,9 @@ func TestApplyUpdateNoiseScales(t *testing.T) {
 		c := cfg
 		c.Strategy = strategy
 		w := mathx.NewMatrix(2, c.Dim)
-		acc := newRowAccumulator(c.Dim)
+		acc := newRowAccumulator(c.Dim, 1)
 		acc.add(0, make([]float64, c.Dim)) // row 0 touched with zero grad
-		applyUpdate(w, acc, c, xrand.New(9))
+		applyWith(c, w, acc, 0, matWin, 9)
 		return mathx.StdDev(w.Row(0))
 	}
 	wantNonZero := cfg.LearningRate * cfg.Clip * cfg.Sigma
@@ -258,7 +266,7 @@ func TestClipJoint(t *testing.T) {
 }
 
 func TestRowAccumulator(t *testing.T) {
-	acc := newRowAccumulator(3)
+	acc := newRowAccumulator(3, 2)
 	acc.add(1, []float64{1, 2, 3})
 	acc.add(1, []float64{1, 1, 1})
 	acc.add(5, []float64{9, 0, 0})
@@ -269,10 +277,26 @@ func TestRowAccumulator(t *testing.T) {
 	if len(acc.rows) != 0 {
 		t.Error("reset left rows behind")
 	}
-	// Pool reuse must hand back zeroed vectors.
+	// Reuse of a pooled (dirty) vector: the first add must fully overwrite
+	// whatever the previous epoch left in it.
 	acc.add(2, []float64{1, 1, 1})
-	if got := acc.rows[2]; got[0] != 1 {
-		t.Errorf("pooled vector not zeroed: %v", got)
+	if got := acc.rows[2]; got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("first add after reuse did not overwrite: %v", got)
+	}
+}
+
+func TestRowAccumulatorOverflowsPool(t *testing.T) {
+	// Undersized pool (and maxRows = 0) must still be correct, just slower.
+	for _, maxRows := range []int{0, 1} {
+		acc := newRowAccumulator(2, maxRows)
+		for r := int32(0); r < 4; r++ {
+			acc.add(r, []float64{float64(r), 1})
+		}
+		for r := int32(0); r < 4; r++ {
+			if got := acc.rows[r]; got[0] != float64(r) || got[1] != 1 {
+				t.Fatalf("maxRows=%d: row %d = %v", maxRows, r, got)
+			}
+		}
 	}
 }
 

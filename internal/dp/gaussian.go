@@ -36,6 +36,41 @@ func GaussianMechanism(x []float64, sensitivity, sigma float64, rng *xrand.RNG) 
 	}
 }
 
+// GaussianMechanismAt is GaussianMechanism with index-addressed noise:
+// coordinate i receives sd·NormalAt(base+i) from the given counter stream
+// (xrand contract pattern 3), so callers can shard one logical noise
+// vector across workers — or re-derive any coordinate's noise later —
+// without a shared sequential RNG. base must be pair-aligned (even): the
+// Box–Muller pairs underneath span counters (2j, 2j+1), and a shard split
+// off-pair would assign different branch elements than the whole-vector
+// call — it panics rather than silently breaking bit-identity.
+//
+// The privacy accounting is indifferent to the change: Theorems 4–5 bound
+// the mechanism by the DISTRIBUTION of its noise — i.i.d. N(0, sd²) per
+// coordinate, which holds for counter-addressed draws exactly as for
+// sequential ones — not by how a PRNG indexes them.
+func GaussianMechanismAt(x []float64, sensitivity, sigma float64, st xrand.Stream, base uint64) {
+	if sensitivity < 0 || sigma < 0 {
+		panic(fmt.Sprintf("dp: GaussianMechanismAt(sensitivity=%g, sigma=%g) negative parameter", sensitivity, sigma))
+	}
+	if base&1 != 0 {
+		panic(fmt.Sprintf("dp: GaussianMechanismAt base %d must be pair-aligned (even)", base))
+	}
+	sd := sensitivity * sigma
+	if sd == 0 {
+		return
+	}
+	i := 0
+	for ; i+1 < len(x); i += 2 {
+		a, b := st.NormalPairAt((base + uint64(i)) / 2)
+		x[i] += sd * a
+		x[i+1] += sd * b
+	}
+	if i < len(x) {
+		x[i] += sd * st.NormalAt(base+uint64(i))
+	}
+}
+
 // GaussianRDP returns the Rényi divergence bound ε(α) = α/(2σ²) of the
 // Gaussian mechanism with noise multiplier sigma (= noise std divided by
 // ℓ2 sensitivity), valid for every α > 1 (Mironov 2017, Corollary 3).

@@ -51,6 +51,60 @@ func TestGaussianMechanismScale(t *testing.T) {
 	}
 }
 
+func TestGaussianMechanismAtScale(t *testing.T) {
+	const n = 100000
+	x := make([]float64, n)
+	GaussianMechanismAt(x, 2, 3, xrand.NewStream(7).Derive(1), 0)
+	var sumSq float64
+	for _, v := range x {
+		sumSq += v * v
+	}
+	sd := math.Sqrt(sumSq / n)
+	if math.Abs(sd-6) > 0.1 {
+		t.Errorf("noise sd = %g, want approx 6", sd)
+	}
+}
+
+func TestGaussianMechanismAtIsIndexAddressed(t *testing.T) {
+	st := xrand.NewStream(9).Derive(4)
+	// One shot over six coordinates vs two shards split at the pair
+	// boundary: identical bits, the property the sharded update relies on.
+	whole := make([]float64, 6)
+	GaussianMechanismAt(whole, 1, 2, st, 0)
+	parts := make([]float64, 6)
+	GaussianMechanismAt(parts[:2], 1, 2, st, 0)
+	GaussianMechanismAt(parts[2:], 1, 2, st, 2)
+	for i := range whole {
+		if whole[i] != parts[i] {
+			t.Fatalf("coordinate %d: %g sharded vs %g whole", i, parts[i], whole[i])
+		}
+	}
+	// Zero-noise cases leave x untouched.
+	x := []float64{1, 2}
+	GaussianMechanismAt(x, 0, 5, st, 0)
+	GaussianMechanismAt(x, 5, 0, st, 0)
+	if x[0] != 1 || x[1] != 2 {
+		t.Error("zero sensitivity/sigma should add no noise")
+	}
+}
+
+func TestGaussianMechanismAtPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative sigma", func() {
+		GaussianMechanismAt([]float64{1}, 1, -1, xrand.NewStream(1), 0)
+	})
+	mustPanic("odd base", func() {
+		GaussianMechanismAt([]float64{1, 2}, 1, 1, xrand.NewStream(1), 3)
+	})
+}
+
 func TestGaussianMechanismPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

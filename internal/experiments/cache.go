@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"sync"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/proximity"
+)
+
+// Memo is the sweep-level cache: figure and table sweeps evaluate the same
+// (dataset, scale, measure) combination in hundreds of cells (method × ε ×
+// seed), and before PR 2 every cell re-simulated the dataset and rebuilt
+// its proximity from scratch. A Memo computes each artifact once and
+// shares it:
+//
+//   - simulated dataset graphs, keyed by (name, scale, seed);
+//   - materialized proximity matrices, keyed by (graph, measure) — built
+//     with MaterializeParallel so even the first cell to need one gets the
+//     sharded construction.
+//
+// Graphs are immutable and Sparse proximities are read-only after
+// materialization, so sharing across sweep goroutines is safe. Each key is
+// computed exactly once (sync.Once per entry); concurrent requesters block
+// on the winner rather than duplicating work.
+//
+// Proximity entries are keyed by graph pointer and only created for graphs
+// the Memo itself produced: transient graphs (e.g. per-seed link-prediction
+// training splits) fall back to the direct lazy measure, where one-shot
+// At-by-edge evaluation is cheaper than materializing every row.
+type Memo struct {
+	mu     sync.Mutex
+	graphs map[graphKey]*graphEntry
+	prox   map[proxKey]*proxEntry
+	known  map[*graph.Graph]bool
+}
+
+type graphKey struct {
+	name  string
+	scale float64
+	seed  uint64
+}
+
+type proxKey struct {
+	g       *graph.Graph
+	measure string
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
+type proxEntry struct {
+	once sync.Once
+	p    *proximity.Sparse
+	err  error
+}
+
+// NewMemo returns an empty sweep cache.
+func NewMemo() *Memo {
+	return &Memo{
+		graphs: make(map[graphKey]*graphEntry),
+		prox:   make(map[proxKey]*proxEntry),
+		known:  make(map[*graph.Graph]bool),
+	}
+}
+
+// graphFor returns the cached simulation for the key, generating it on
+// first use via gen.
+func (m *Memo) graphFor(name string, scale float64, seed uint64, gen func() (*graph.Graph, error)) (*graph.Graph, error) {
+	m.mu.Lock()
+	e, ok := m.graphs[graphKey{name, scale, seed}]
+	if !ok {
+		e = &graphEntry{}
+		m.graphs[graphKey{name, scale, seed}] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		e.g, e.err = gen()
+		if e.err == nil {
+			m.mu.Lock()
+			m.known[e.g] = true
+			m.mu.Unlock()
+		}
+	})
+	return e.g, e.err
+}
+
+// proximityFor returns the measure over g, materialized across `workers`
+// goroutines and cached when g is a Memo-managed graph; for foreign graphs
+// it returns the direct lazy measure uncached.
+func (m *Memo) proximityFor(g *graph.Graph, measure string, workers int) (proximity.Proximity, error) {
+	m.mu.Lock()
+	if !m.known[g] {
+		m.mu.Unlock()
+		return proximity.ByName(measure, g)
+	}
+	e, ok := m.prox[proxKey{g, measure}]
+	if !ok {
+		e = &proxEntry{}
+		m.prox[proxKey{g, measure}] = e
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		p, err := proximity.ByName(measure, g)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.p = proximity.MaterializeParallel(p, workers)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.p, nil
+}

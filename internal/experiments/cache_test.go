@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/xrand"
+)
+
+func TestMemoDatasetSharing(t *testing.T) {
+	o := Quick(io.Discard)
+	a, err := o.dataset("chameleon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.dataset("chameleon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cached dataset not shared (distinct pointers for one key)")
+	}
+	o.DatasetSeed = 2
+	c, err := o.dataset("chameleon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different dataset seeds share one cache entry")
+	}
+}
+
+func TestMemoProximitySharing(t *testing.T) {
+	o := Quick(io.Discard)
+	g, err := o.dataset("power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := o.proximityFor(g, "deepwalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := o.proximityFor(g, "deepwalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cached proximity not shared")
+	}
+	if _, ok := a.(*proximity.Sparse); !ok {
+		t.Errorf("cached proximity is %T, want materialized *proximity.Sparse", a)
+	}
+	// The materialized matrix must agree with the lazy measure everywhere.
+	direct := proximity.NewDeepWalk(g)
+	for i := 0; i < g.NumNodes(); i += 7 {
+		for j := 0; j < g.NumNodes(); j += 11 {
+			if a.At(i, j) != direct.At(i, j) {
+				t.Fatalf("cached At(%d,%d) = %g, direct %g", i, j, a.At(i, j), direct.At(i, j))
+			}
+		}
+	}
+	if _, err := o.proximityFor(g, "no-such-measure"); err == nil {
+		t.Error("unknown measure did not error through the cache")
+	}
+}
+
+func TestMemoForeignGraphFallsBack(t *testing.T) {
+	o := Quick(io.Discard)
+	foreign := graph.BarabasiAlbert(40, 2, xrand.New(3))
+	p, err := o.proximityFor(foreign, "deepwalk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*proximity.Sparse); ok {
+		t.Error("foreign graph was materialized; expected the lazy measure")
+	}
+}
+
+func TestMemoNilCacheWorks(t *testing.T) {
+	o := Quick(io.Discard)
+	o.Cache = nil
+	g, err := o.dataset("power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.proximityFor(g, "degree"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoConcurrent hammers one key from many goroutines: every caller
+// must observe the same pointer and the generator must run exactly once.
+func TestMemoConcurrent(t *testing.T) {
+	o := Quick(io.Discard)
+	const goroutines = 16
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen = make(map[*graph.Graph]bool)
+	)
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer wg.Done()
+			g, err := o.dataset("chameleon")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := o.proximityFor(g, "degree"); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			seen[g] = true
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 1 {
+		t.Errorf("%d distinct graphs for one key, want 1", len(seen))
+	}
+}

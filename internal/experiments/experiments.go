@@ -46,7 +46,11 @@ type Options struct {
 	// within a run instead — use one axis or the other, not both, to avoid
 	// oversubscription).
 	Workers int
-	Out     io.Writer
+	// Cache memoizes dataset simulation and materialized proximity across
+	// the cells of a sweep, keyed by (dataset, scale, seed) and measure
+	// (see Memo). nil disables caching; Default and Quick enable it.
+	Cache *Memo
+	Out   io.Writer
 }
 
 // Default returns harness settings that regenerate every experiment at
@@ -62,6 +66,7 @@ func Default(out io.Writer) Options {
 		MaxExactPairs:  3000,
 		SamplePairs:    300000,
 		DatasetSeed:    1,
+		Cache:          NewMemo(),
 		Out:            out,
 	}
 }
@@ -78,6 +83,7 @@ func Quick(out io.Writer) Options {
 		MaxExactPairs:  2000,
 		SamplePairs:    100000,
 		DatasetSeed:    1,
+		Cache:          NewMemo(),
 		Out:            out,
 	}
 }
@@ -88,13 +94,30 @@ func (o Options) printf(format string, args ...any) {
 	}
 }
 
-// dataset generates (and memoizes per call site) a simulated dataset.
+// dataset generates a simulated dataset, memoized in o.Cache (when set)
+// so repeated cells of a sweep share one simulation.
 func (o Options) dataset(name string) (*graph.Graph, error) {
 	spec, err := datasets.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return datasets.Generate(name, o.Scale*spec.DefaultScale, o.DatasetSeed)
+	scale := o.Scale * spec.DefaultScale
+	gen := func() (*graph.Graph, error) {
+		return datasets.Generate(name, scale, o.DatasetSeed)
+	}
+	if o.Cache == nil {
+		return gen()
+	}
+	return o.Cache.graphFor(name, scale, o.DatasetSeed, gen)
+}
+
+// proximityFor resolves a measure over g, served from the sweep cache as a
+// materialized matrix when available (see Memo).
+func (o Options) proximityFor(g *graph.Graph, name string) (proximity.Proximity, error) {
+	if o.Cache == nil {
+		return proximity.ByName(name, g)
+	}
+	return o.Cache.proximityFor(g, name, o.workerCount())
 }
 
 // strucEqu evaluates the metric, switching to pair sampling on big graphs.
@@ -123,9 +146,10 @@ func meanSD(xs []float64) string {
 }
 
 // runSE trains SE-PrivGEmb (or SE-GEmb when private is false) once and
-// returns the trained result.
-func runSE(g *graph.Graph, proxName string, cfg core.Config, seed uint64) (*core.Result, error) {
-	prox, err := proximity.ByName(proxName, g)
+// returns the trained result. The proximity comes from the sweep cache
+// when one is configured.
+func (o Options) runSE(g *graph.Graph, proxName string, cfg core.Config, seed uint64) (*core.Result, error) {
+	prox, err := o.proximityFor(g, proxName)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +166,7 @@ func (o Options) seStrucEqu(g *graph.Graph, proxName string, mutate func(*core.C
 		if mutate != nil {
 			mutate(&cfg)
 		}
-		res, err := runSE(g, proxName, cfg, uint64(s)+100)
+		res, err := o.runSE(g, proxName, cfg, uint64(s)+100)
 		if err != nil {
 			return err
 		}

@@ -47,7 +47,7 @@ func (o Options) methodEmbedders() map[string]embedder {
 			cfg := o.seCfg(g)
 			cfg.Private = private
 			cfg.Epsilon = eps
-			res, err := runSE(g, prox, cfg, seed)
+			res, err := o.runSE(g, prox, cfg, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -205,7 +205,7 @@ func (o Options) linkPredEmbed(run embedder, name string, train *graph.Graph, ep
 		cfg.MaxEpochs = o.EpochsLP
 		cfg.Private = name == "SE-PrivGEmbDW" || name == "SE-PrivGEmbDeg"
 		cfg.Epsilon = eps
-		res, err := runSE(train, prox, cfg, seed)
+		res, err := o.runSE(train, prox, cfg, seed)
 		if err != nil {
 			return nil, err
 		}

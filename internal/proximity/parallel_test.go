@@ -1,0 +1,43 @@
+package proximity
+
+import (
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/xrand"
+)
+
+// TestMaterializeParallelMatchesSerial pins the sharded row construction:
+// every worker count must produce exactly the serial Sparse, for measures
+// across the cost spectrum (closed-form DeepWalk, frontier-expanding Katz,
+// push-based PageRank).
+func TestMaterializeParallelMatchesSerial(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 3, xrand.New(8))
+	measures := []Proximity{
+		NewDeepWalk(g),
+		NewDegree(g),
+		NewKatz(g, 0.05, 4),
+		NewPageRank(g, 0.85, 1e-4),
+	}
+	for _, p := range measures {
+		serial := Materialize(p)
+		for _, workers := range []int{2, 4, 7, 300} { // 300 > |V| exercises the clamp
+			par := MaterializeParallel(p, workers)
+			if par.NumNodes() != serial.NumNodes() {
+				t.Fatalf("%s workers=%d: %d nodes vs %d", p.Name(), workers, par.NumNodes(), serial.NumNodes())
+			}
+			for i := 0; i < serial.NumNodes(); i++ {
+				a, b := serial.Row(i), par.Row(i)
+				if len(a) != len(b) {
+					t.Fatalf("%s workers=%d row %d: %d entries vs %d", p.Name(), workers, i, len(b), len(a))
+				}
+				for k := range a {
+					if a[k] != b[k] {
+						t.Fatalf("%s workers=%d row %d entry %d: %+v vs %+v",
+							p.Name(), workers, i, k, b[k], a[k])
+					}
+				}
+			}
+		}
+	}
+}

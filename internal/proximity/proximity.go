@@ -15,6 +15,8 @@ package proximity
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"seprivgemb/internal/graph"
 )
@@ -114,11 +116,55 @@ type Sparse struct {
 
 // Materialize evaluates every row of p into a Sparse copy.
 func Materialize(p Proximity) *Sparse {
+	return MaterializeParallel(p, 1)
+}
+
+// MaterializeParallel evaluates rows across `workers` goroutines. Rows
+// are index-addressed and Row is a pure function of (measure, graph, i),
+// so the result is identical at any worker count. Every measure in this
+// package supports concurrent Row calls (they only read the graph); a
+// custom Proximity handed here must as well.
+//
+// Work is handed out in small row blocks off an atomic cursor rather than
+// contiguous shards: row costs are heavily skewed on power-law graphs
+// (hub rows of Katz/PageRank push far larger frontiers), and dynamic
+// blocks keep the pool busy to the last row.
+func MaterializeParallel(p Proximity, workers int) *Sparse {
 	n := p.NumNodes()
 	s := &Sparse{name: p.Name(), rows: make([][]Entry, n)}
-	for i := 0; i < n; i++ {
-		s.rows[i] = append([]Entry(nil), p.Row(i)...)
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.rows[i] = append([]Entry(nil), p.Row(i)...)
+		}
 	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fill(0, n)
+		return s
+	}
+	const block = 32
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(block)) - block
+				if lo >= n {
+					return
+				}
+				hi := lo + block
+				if hi > n {
+					hi = n
+				}
+				fill(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
 	return s
 }
 

@@ -11,24 +11,35 @@
 //
 // An *RNG is NOT safe for concurrent use, and — more importantly for
 // reproducibility — the ORDER of draws from a stream is part of a run's
-// identity: the DP noise of core.Train (Eq. 6/9) comes from the same
-// stream as its batch sampling, so any extra or reordered draw changes
-// the published embedding. Parallel code must therefore follow one of two
-// patterns, never "share the stream and lock":
+// identity: the batch sampling of core.Train comes from a sequential
+// stream, so any extra or reordered draw changes the published embedding.
+// Parallel code must therefore follow one of three patterns, never "share
+// the stream and lock":
 //
 //  1. Consume nothing. core.Train's parallel gradient stage is randomness
-//     free by construction; only the single-threaded sampling and
-//     noise/update steps touch the run RNG, so worker scheduling can
-//     never consume (or reorder) noise randomness.
+//     free by construction; only the single-threaded sampling step
+//     touches the run RNG, so worker scheduling can never consume (or
+//     reorder) a draw.
 //  2. Split up front. Independent tasks (e.g. the experiments sweep
 //     runner's fan-out over datasets × ε × seeds) each construct their
 //     own stream with New(seed) from an explicitly assigned seed — or
 //     with Split, called on the parent BEFORE the tasks are spawned, in
 //     task order — so per-task randomness is fixed by the task's index,
 //     not by goroutine scheduling.
+//  3. Address by index. When every task needs randomness of its own and
+//     the tasks are identified by stable indices — DP noise addressed by
+//     (epoch, matrix, row, coordinate), subgraph sampling addressed by
+//     edge index — use a counter-based Stream (counter.go): each draw is
+//     a pure function of (seed, key, counter), so any worker can compute
+//     any draw at any time and the result is bit-identical at every
+//     worker count. This is how core.Train shards its Eq. (6)/(9) noise
+//     stage and Algorithm 1's per-edge sampling.
 package xrand
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // RNG is a splittable pseudo-random number generator based on the
 // SplitMix64 / xoshiro256** family. The zero value is not usable; construct
@@ -44,6 +55,15 @@ type RNG struct {
 // guarantees a well-distributed initial state even for small seeds.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r to the state New(seed) would construct, reusing the
+// receiver's storage. Hot loops that need one short-lived RNG per work
+// item (e.g. the per-edge streams of Algorithm 1) reseed a stack value
+// instead of allocating per item.
+func (r *RNG) Reseed(seed uint64) {
 	sm := seed
 	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15
@@ -59,7 +79,8 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
+	r.hasGauss = false
+	r.gauss = 0
 }
 
 // Split returns a new RNG deterministically derived from r's stream,
@@ -183,15 +204,26 @@ func (r *RNG) SampleWithoutReplacement(n, m int) []int {
 		return nil
 	}
 	if m*4 < n {
-		// Floyd's algorithm.
-		seen := make(map[int]struct{}, m)
+		// Floyd's algorithm. Membership is tracked in a small sorted slice
+		// rather than a map: for batch-sized m the binary search + memmove
+		// beat hashing, and the whole sampler costs two allocations. The
+		// draw sequence is unchanged, so outputs are bit-identical to the
+		// map-based version.
+		chosen := make([]int, 0, m) // sorted
 		out := make([]int, 0, m)
 		for j := n - m; j < n; j++ {
 			t := r.Intn(j + 1)
-			if _, dup := seen[t]; dup {
+			pos := sort.SearchInts(chosen, t)
+			if pos < len(chosen) && chosen[pos] == t {
+				// Duplicate: Floyd substitutes j, which exceeds every prior
+				// value (each earlier iteration inserted values <= its own
+				// smaller j), so it belongs at the end of chosen.
 				t = j
+				pos = len(chosen)
 			}
-			seen[t] = struct{}{}
+			chosen = append(chosen, 0)
+			copy(chosen[pos+1:], chosen[pos:])
+			chosen[pos] = t
 			out = append(out, t)
 		}
 		r.Shuffle(out)

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# bench_json.sh — convert `go test -bench` output (stdin) into a JSON array
+# (stdout), one record per benchmark line, carrying the package and host
+# context lines along. Used by `make bench-json` to record the perf
+# trajectory (BENCH_pr2.json and successors) on multi-core hosts, where the
+# worker-count sub-benchmarks actually separate; see ROADMAP.md.
+#
+# Usage: go test -run '^$' -bench . -benchmem ./... | scripts/bench_json.sh
+set -eu
+
+NPROC=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo null)
+
+awk -v nproc="$NPROC" '
+function emit_sep() { if (n++) printf ",\n" }
+/^pkg: /  { pkg = $2 }
+/^cpu: /  { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = "null"; bytes = "null"; allocs = "null"
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    emit_sep()
+    printf "  {\"pkg\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", pkg, name, iters, ns, bytes, allocs
+}
+BEGIN { print "[" ; n = 0 }
+END   {
+    emit_sep()
+    printf "  {\"pkg\":\"meta\",\"name\":\"host\",\"cpu\":\"%s\",\"cpus\":%s}", cpu, nproc
+    print "\n]"
+}
+'
