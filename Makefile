@@ -1,17 +1,21 @@
 GO ?= go
 # Benchmark → JSON recording for the perf trajectory; bump per PR.
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr3.json
 # The sharded-stage benchmarks: the DP noise/update stage, the one-shot
-# graph passes, and the whole-train scaling curve.
-BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers
+# graph passes, the whole-train scaling curve, and (PR 3) the sharded
+# evaluation metrics.
+BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|StrucEquWorkers|LinkAUCWorkers
 
-.PHONY: build test race bench bench-json verify
+.PHONY: build test vet race bench bench-json verify
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 # Race-detect the concurrent paths (the parallel training engine and the
 # experiments sweep runner live under internal/).
@@ -31,4 +35,4 @@ bench-json:
 		| tee /dev/stderr | sh scripts/bench_json.sh > $(BENCH_JSON)
 
 # Tier-1 verification in one command.
-verify: build test race
+verify: build vet test race

@@ -17,11 +17,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 
 	"seprivgemb/internal/experiments"
 )
@@ -40,6 +44,10 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancels the sweep: in-flight training runs stop at
+	// their next epoch boundary and no further cells start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+
 	opt := experiments.Default(os.Stdout)
 	opt.Scale = *scale
 	opt.Seeds = *seeds
@@ -49,6 +57,7 @@ func main() {
 	opt.Dim = *dim
 	opt.DatasetSeed = *datasetSeed
 	opt.Workers = *workers
+	opt.Ctx = ctx
 
 	reg := experiments.Registry()
 	run, ok := reg[*exp]
@@ -61,7 +70,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q; known: %v\n", *exp, ids)
 		os.Exit(2)
 	}
-	if err := run(opt); err != nil {
+	err := run(opt)
+	stop() // restore default signal handling for the exit path
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Tables printed before the signal are complete and valid;
+			// the interrupted sweep's rows were discarded, not truncated.
+			fmt.Fprintln(os.Stderr, "experiments: interrupted — output above is complete up to the canceled sweep")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}

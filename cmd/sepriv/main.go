@@ -9,14 +9,22 @@
 // Flags mirror Algorithm 2's hyperparameters; defaults are the paper's
 // settings. With -out the embedding is written as TSV (node id then r
 // values per line); with -eval both downstream metrics are reported.
+//
+// Training runs as a cancellable session: SIGINT/SIGTERM stops at the next
+// epoch boundary and still reports the partial embedding, its privacy
+// spend, and — with -checkpoint — a snapshot file from which a later
+// invocation resumes bit-identically (same flags, same file).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"seprivgemb"
 )
@@ -39,12 +47,18 @@ func main() {
 		naive       = flag.Bool("naive", false, "use the naive Eq. (6) perturbation instead of non-zero Eq. (9)")
 		nonPriv     = flag.Bool("non-private", false, "train the non-private SE-GEmb counterpart")
 		seed        = flag.Uint64("seed", 1, "random seed")
-		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for subgraph generation, the gradient stage and the DP noise/update stage (results are seed-deterministic at any count)")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for the parallel training and evaluation stages (results are seed-deterministic at any count)")
 		materialize = flag.Bool("materialize", false, "materialize the proximity matrix up front, sharded across -workers (big win for katz/pagerank, whose lazy At recomputes a row per call)")
+		ckptPath    = flag.String("checkpoint", "", "checkpoint file: resumed from when it exists, written on interrupt or completion")
+		progress    = flag.Int("progress", 0, "print loss and privacy spend every N epochs (0 disables)")
 		outPath     = flag.String("out", "", "write the embedding as TSV to this file")
 		doEval      = flag.Bool("eval", true, "evaluate StrucEqu and link-prediction AUC")
 	)
 	flag.Parse()
+	var (
+		ckptWriteErr error // last snapshot write failure, nil once one succeeds
+		ckptWritten  = -1  // epoch of the last successfully written snapshot
+	)
 
 	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
 	if err != nil {
@@ -77,29 +91,81 @@ func main() {
 		cfg.BatchSize = g.NumEdges()
 		fmt.Printf("note: batch clamped to |E| = %d\n", cfg.BatchSize)
 	}
+
+	opts := []seprivgemb.Option{seprivgemb.WithConfig(cfg)}
 	if *materialize {
 		// Row-lazy measures (Katz, PageRank) recompute a whole row per At
-		// call; materializing once — sharded across the workers — makes
-		// the per-edge weight pass a binary search instead.
-		prox = seprivgemb.MaterializeProximity(prox, *workers)
+		// call; the session materializes once — sharded across the
+		// workers — so the per-edge weight pass is a binary search.
+		opts = append(opts, seprivgemb.WithCache())
+	}
+	if *progress > 0 {
+		every := *progress
+		opts = append(opts, seprivgemb.WithEpochHook(func(st seprivgemb.EpochStats) {
+			if (st.Epoch+1)%every == 0 {
+				fmt.Printf("epoch %4d: loss %.4f  eps-spent %.4f  (%.1fs)\n",
+					st.Epoch+1, st.Loss, st.EpsSpent, st.Elapsed.Seconds())
+			}
+		}))
+	}
+	if *ckptPath != "" {
+		if ck, err := readCheckpoint(*ckptPath); err != nil {
+			fail(err)
+		} else if ck != nil {
+			fmt.Printf("resuming from %s (epoch %d)\n", *ckptPath, ck.Epoch)
+			opts = append(opts, seprivgemb.WithResume(ck))
+		}
+		// Persist snapshots as they are taken — every 50 epochs, on
+		// interrupt, and at the final boundary — so a crash loses at most
+		// one cadence of work.
+		path := *ckptPath
+		opts = append(opts, seprivgemb.WithCheckpointEvery(50, func(ck *seprivgemb.Checkpoint) {
+			if err := writeCheckpoint(path, ck); err != nil {
+				ckptWriteErr = err
+				fmt.Fprintf(os.Stderr, "sepriv: writing checkpoint: %v\n", err)
+			} else {
+				ckptWriteErr = nil
+				ckptWritten = ck.Epoch
+			}
+		}))
 	}
 
-	res, err := seprivgemb.Train(g, prox, cfg)
+	// SIGINT/SIGTERM cancels the session at the next epoch boundary; the
+	// partial result below still prints, and -checkpoint preserves it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+
+	res, err := seprivgemb.NewSession(g, prox, opts...).Run(ctx)
+	// Restore default signal handling right away: a second Ctrl-C during
+	// the (possibly long) evaluation below should kill the process, not
+	// be swallowed by the still-registered handler.
+	stop()
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("trained %d epochs (stopped by budget: %v)\n", res.Epochs, res.StoppedByBudget)
+	interrupted := res.Stopped == seprivgemb.StopCanceled
+	if interrupted {
+		fmt.Printf("interrupted after %d epochs (partial embedding follows)\n", res.Epochs)
+	} else {
+		fmt.Printf("trained %d epochs (stopped: %v)\n", res.Epochs, res.Stopped)
+	}
 	if cfg.Private {
 		fmt.Printf("privacy spent: eps=%.4f at delta=%g (delta-hat %.2e at target eps)\n",
 			res.EpsilonSpent, cfg.Delta, res.DeltaSpent)
 	}
+	switch {
+	case *ckptPath != "" && ckptWriteErr != nil:
+		fmt.Fprintf(os.Stderr, "sepriv: checkpoint NOT saved (last write failed: %v)\n", ckptWriteErr)
+	case *ckptPath != "" && res.Checkpoint != nil && ckptWritten == res.Checkpoint.Epoch:
+		fmt.Printf("checkpoint at epoch %d written to %s (rerun with the same flags to resume)\n",
+			ckptWritten, *ckptPath)
+	}
 
 	if *doEval {
-		se := seprivgemb.StrucEqu(g, res.Embedding())
+		se := seprivgemb.StrucEquWorkers(g, res.Embedding(), *workers)
 		fmt.Printf("StrucEqu: %.4f\n", se)
 		split, err := seprivgemb.SplitLinkPrediction(g, 0.1, seprivgemb.NewRNG(*seed))
 		if err == nil {
-			auc := seprivgemb.LinkAUC(split, seprivgemb.EmbeddingScorer(res.Embedding()))
+			auc := seprivgemb.LinkAUCWorkers(split, seprivgemb.EmbeddingScorer(res.Embedding()), *workers)
 			fmt.Printf("link-prediction AUC (same embedding, 10%% held out): %.4f\n", auc)
 		}
 	}
@@ -109,6 +175,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("embedding written to %s\n", *outPath)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 
@@ -123,6 +192,55 @@ func loadGraph(path, dataset string, scale float64, seed uint64) (*seprivgemb.Gr
 	default:
 		return nil, fmt.Errorf("sepriv: one of -graph or -dataset is required")
 	}
+}
+
+// readCheckpoint loads a resume snapshot, returning (nil, nil) when the
+// file does not exist yet (a fresh run that will create it).
+func readCheckpoint(path string) (*seprivgemb.Checkpoint, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return seprivgemb.DecodeCheckpoint(bufio.NewReader(f))
+}
+
+// writeCheckpoint replaces path atomically (write-to-temp then rename), so
+// a crash mid-write leaves the previous good snapshot intact — the "lose
+// at most one cadence" guarantee depends on never truncating in place.
+func writeCheckpoint(path string, ck *seprivgemb.Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := ck.Encode(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Flush to stable storage before the rename: without the fsync a
+	// power loss could persist the rename ahead of the data blocks,
+	// replacing the previous good snapshot with a truncated file.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func writeTSV(path string, emb *seprivgemb.Matrix) error {

@@ -13,19 +13,30 @@
 //	g, _ := seprivgemb.GenerateDataset("chameleon", 0.1, 1)
 //	prox, _ := seprivgemb.NewProximity("deepwalk", g)
 //	cfg := seprivgemb.DefaultConfig() // ε=3.5, δ=1e-5, σ=5, r=128
-//	res, _ := seprivgemb.Train(g, prox, cfg)
+//	res, _ := seprivgemb.NewSession(g, prox, seprivgemb.WithConfig(cfg)).Run(ctx)
 //	score := seprivgemb.StrucEqu(g, res.Embedding())
 //
 // The released matrix res.Embedding() satisfies node-level (ε, δ)-DP
 // (Definition 5); by Theorem 2 any downstream computation on it — including
 // both evaluation tasks in this package — retains that guarantee.
 //
+// Training runs as a job-oriented Session (DESIGN.md §8): canceling ctx
+// stops at the next epoch boundary and still returns the best-so-far
+// partial result with a resumable Checkpoint (WithResume restores it
+// bit-identically); WithEpochHook observes loss and privacy spend live;
+// WithCheckpointEvery snapshots periodically. A Service (NewService)
+// queues many such jobs behind one worker budget and deduplicates
+// identical submissions. The deprecated blocking Train remains as the
+// zero-option special case.
+//
 // Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs
 // subgraph generation, the per-epoch gradient stage AND the DP noise/update
 // stage on goroutine pools that preserve bit-identical results at every
 // worker count — the noise is addressed by (epoch, matrix, row, coordinate)
 // on a counter-based random stream rather than drawn sequentially
-// (DESIGN.md §6). The experiments harness offers the same guarantee one
+// (DESIGN.md §6). The same index-addressed pattern shards the O(|V|²)
+// StrucEqu pair scan and link-prediction scoring (StrucEquWorkers,
+// LinkAUCWorkers). The experiments harness offers the guarantee one
 // level up: independent sweep runs fan across goroutines without changing
 // a printed number.
 //

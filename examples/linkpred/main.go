@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := seprivgemb.Train(split.Train, prox, cfg)
+	res, err := seprivgemb.NewSession(split.Train, prox, seprivgemb.WithConfig(cfg)).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,12 +42,12 @@ func main() {
 	cfg.Sigma = 0.7   // far too little noise...
 	cfg.Epsilon = 0.5 // ...for this tight budget
 	cfg.Seed = 1
-	res, err := seprivgemb.Train(g, prox, cfg)
+	res, err := seprivgemb.NewSession(g, prox, seprivgemb.WithConfig(cfg)).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntight budget run: stopped after %d epochs (budget exhausted: %v)\n",
-		res.Epochs, res.StoppedByBudget)
+	fmt.Printf("\ntight budget run: stopped after %d epochs (reason: %v)\n",
+		res.Epochs, res.Stopped)
 	fmt.Printf("final delta-hat %.2e vs budget delta %g\n", res.DeltaSpent, cfg.Delta)
 
 	// (c) Calibration: the noise needed for K perturbed releases.

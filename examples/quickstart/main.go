@@ -1,9 +1,12 @@
 // Quickstart: train SE-PrivGEmb on a simulated Chameleon graph with the
 // paper's default settings and evaluate structural equivalence. This is the
-// minimal end-to-end path through the public API.
+// minimal end-to-end path through the public API — the job-oriented
+// Session: cancellable via context, observable via an epoch hook, and
+// resumable from a checkpoint bit-identically.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,18 +29,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Train under the paper's defaults: ε=3.5, δ=1e-5, σ=5, r=128,
-	//    non-zero perturbation (Eq. 9).
+	// 3. Build a session under the paper's defaults: ε=3.5, δ=1e-5, σ=5,
+	//    non-zero perturbation (Eq. 9). The epoch hook watches loss and
+	//    privacy spend live; pass a cancellable context to stop early and
+	//    still receive the best-so-far embedding.
 	cfg := seprivgemb.DefaultConfig()
 	cfg.Dim = 64  // smaller dimension keeps the demo fast
 	cfg.Seed = 42 // full determinism
 	cfg.MaxEpochs = 100
-	res, err := seprivgemb.Train(g, prox, cfg)
+	session := seprivgemb.NewSession(g, prox,
+		seprivgemb.WithConfig(cfg),
+		seprivgemb.WithEpochHook(func(st seprivgemb.EpochStats) {
+			if (st.Epoch+1)%25 == 0 {
+				fmt.Printf("  epoch %3d: loss %.4f, eps spent %.3f\n",
+					st.Epoch+1, st.Loss, st.EpsSpent)
+			}
+		}),
+	)
+	res, err := session.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("trained %d epochs; privacy spent eps=%.3f (delta=%g)\n",
-		res.Epochs, res.EpsilonSpent, cfg.Delta)
+	fmt.Printf("trained %d epochs (stopped: %v); privacy spent eps=%.3f (delta=%g)\n",
+		res.Epochs, res.Stopped, res.EpsilonSpent, cfg.Delta)
 
 	// 4. The embedding is differentially private: everything downstream is
 	//    post-processing (Theorem 2).
@@ -45,9 +59,36 @@ func main() {
 	se := seprivgemb.StrucEqu(g, emb)
 	fmt.Printf("StrucEqu of the private embedding: %.4f\n", se)
 
+	// 5. Checkpoint/resume: cancel a fresh run mid-flight, resume it from
+	//    the returned checkpoint, and land on the same embedding bit for
+	//    bit — the determinism contract across process boundaries.
+	ctx, cancel := context.WithCancel(context.Background())
+	partial, err := seprivgemb.NewSession(g, prox,
+		seprivgemb.WithConfig(cfg),
+		seprivgemb.WithEpochHook(func(st seprivgemb.EpochStats) {
+			if st.Epoch == 39 { // stop after 40 of the 100 epochs
+				cancel()
+			}
+		}),
+	).Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("canceled a second run after %d epochs (stopped: %v)\n",
+		partial.Epochs, partial.Stopped)
+	resumed, err := seprivgemb.NewSession(g, prox,
+		seprivgemb.WithConfig(cfg),
+		seprivgemb.WithResume(partial.Checkpoint),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resumed to %d epochs; StrucEqu %.4f (uninterrupted: %.4f)\n",
+		resumed.Epochs, seprivgemb.StrucEqu(g, resumed.Embedding()), se)
+
 	// Compare against the non-private ceiling.
 	cfg.Private = false
-	free, err := seprivgemb.Train(g, prox, cfg)
+	free, err := seprivgemb.NewSession(g, prox, seprivgemb.WithConfig(cfg)).Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

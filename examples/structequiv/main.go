@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,14 +30,27 @@ func main() {
 
 	// Arbitrary structure preferences plug into the same private trainer —
 	// the property Theorem 3 guarantees. Each measure weighs edges by a
-	// different notion of closeness.
-	fmt.Printf("%-26s%-12s%-10s\n", "structure preference", "StrucEqu", "epochs")
-	for _, name := range []string{"deepwalk", "degree", "common-neighbors", "adamic-adar", "resource-allocation"} {
+	// different notion of closeness. The runs are independent jobs, so we
+	// push them through the Service: it queues all five, runs them under a
+	// bounded worker budget, and would deduplicate any repeated submission.
+	// Results are deterministic per job, so printing in submission order
+	// gives identical output at any concurrency.
+	svc := seprivgemb.NewService(0) // 0 = all CPUs
+	defer svc.Close()
+	names := []string{"deepwalk", "degree", "common-neighbors", "adamic-adar", "resource-allocation"}
+	jobs := make([]*seprivgemb.Job, len(names))
+	for i, name := range names {
 		prox, err := seprivgemb.NewProximity(name, g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := seprivgemb.Train(g, prox, cfg)
+		if jobs[i], err = svc.Submit(g, prox, cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%-26s%-12s%-10s\n", "structure preference", "StrucEqu", "epochs")
+	for i, name := range names {
+		res, err := jobs[i].Wait(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

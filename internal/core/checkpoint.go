@@ -1,0 +1,179 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"seprivgemb/internal/dp"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/skipgram"
+	"seprivgemb/internal/xrand"
+)
+
+// checkpointVersion identifies the serialized Checkpoint layout. Bump it
+// whenever a field is added, removed, or reinterpreted; DecodeCheckpoint
+// rejects mismatches rather than resuming from a misread state.
+const checkpointVersion = 1
+
+// Checkpoint is a resumable snapshot of a training run at an epoch
+// boundary. It captures everything the remaining epochs depend on — the
+// two weight matrices, the sequential run RNG (whose position encodes all
+// batch sampling so far), the counter-based noise stream, and the RDP
+// accountant's per-order totals — so a run resumed from a checkpoint is
+// bit-identical to one that never stopped (the DESIGN.md §6 determinism
+// contract extended across process boundaries, §8).
+//
+// A checkpoint is tied to its run: ConfigHash and GraphFingerprint pin the
+// hyperparameters and the exact graph, and TrainContext refuses to resume
+// when either differs. Config.Workers and Config.MaxEpochs are exempt — the
+// first never changes results, and allowing the second to grow is how a
+// finished run is extended.
+type Checkpoint struct {
+	// Version is the checkpoint format version (checkpointVersion).
+	Version int
+	// ConfigHash pins the result-shaping Config fields (see Config.Hash;
+	// MaxEpochs is additionally excluded here).
+	ConfigHash uint64
+	// GraphFingerprint pins the exact training graph (graph.Fingerprint).
+	GraphFingerprint uint64
+	// Nodes and Dim record the weight-matrix shape.
+	Nodes, Dim int
+	// Epoch is the number of completed epochs; resume continues at this
+	// epoch index.
+	Epoch int
+	// Win and Wout are the raw row-major weight matrices at the boundary.
+	Win, Wout []float64
+	// RNG is the sequential run RNG, positioned at the start of epoch
+	// Epoch's batch sampling.
+	RNG xrand.RNGState
+	// Noise is the counter-based DP noise stream's state (private runs;
+	// zero and unused otherwise). Its draws are addressed by (epoch,
+	// matrix, row, coordinate), so no position needs capturing.
+	Noise uint64
+	// HasAccountant reports whether Accountant is meaningful (private runs).
+	HasAccountant bool
+	// Accountant is the RDP accountant's per-order composition so far.
+	Accountant dp.AccountantState
+	// LossHistory, EpsilonSpent and DeltaSpent restore the Result fields
+	// accumulated before the boundary.
+	LossHistory  []float64
+	EpsilonSpent float64
+	DeltaSpent   float64
+}
+
+// Hash returns a 64-bit FNV-1a digest of every Config field that shapes a
+// run's numeric output. Workers is excluded: by the determinism contract it
+// trades wall-clock time only, never a result bit. Two configs with equal
+// hashes produce bit-identical Results on the same graph and proximity,
+// which is what the service layer's job deduplication keys on.
+func (c Config) Hash() uint64 {
+	h := mathx.NewFNV64()
+	h.Word(uint64(c.Dim))
+	h.Word(uint64(c.K))
+	h.Word(uint64(c.BatchSize))
+	h.Word(uint64(c.MaxEpochs))
+	h.Word(math.Float64bits(c.LearningRate))
+	h.Word(math.Float64bits(c.Clip))
+	h.Word(math.Float64bits(c.Sigma))
+	h.Word(math.Float64bits(c.Epsilon))
+	h.Word(math.Float64bits(c.Delta))
+	h.Word(uint64(c.Strategy))
+	h.Word(uint64(c.NegSampling))
+	if c.Private {
+		h.Word(1)
+	} else {
+		h.Word(0)
+	}
+	h.Word(c.Seed)
+	return h.Sum()
+}
+
+// resumeHash is Hash with MaxEpochs also excluded: a resumed run may raise
+// (or lower) the epoch budget without invalidating the checkpoint, since
+// MaxEpochs only bounds the loop — it never changes an epoch's numerics.
+func (c Config) resumeHash() uint64 {
+	c.MaxEpochs = 0
+	return c.Hash()
+}
+
+// captureCheckpoint snapshots the live training state. It deep-copies the
+// matrices and accountant, so the checkpoint stays frozen while training
+// continues.
+func captureCheckpoint(g *graph.Graph, cfg Config, model *skipgram.Model,
+	rng *xrand.RNG, noise xrand.Stream, acct *dp.Accountant, res *Result) *Checkpoint {
+	ck := &Checkpoint{
+		Version:          checkpointVersion,
+		ConfigHash:       cfg.resumeHash(),
+		GraphFingerprint: g.Fingerprint(),
+		Nodes:            model.Win.Rows,
+		Dim:              model.Dim,
+		Epoch:            res.Epochs,
+		Win:              append([]float64(nil), model.Win.Data...),
+		Wout:             append([]float64(nil), model.Wout.Data...),
+		RNG:              rng.State(),
+		LossHistory:      append([]float64(nil), res.LossHistory...),
+		EpsilonSpent:     res.EpsilonSpent,
+		DeltaSpent:       res.DeltaSpent,
+	}
+	if acct != nil {
+		ck.HasAccountant = true
+		ck.Accountant = acct.State()
+		ck.Noise = noise.State()
+	}
+	return ck
+}
+
+// validateFor checks that ck can resume training of cfg on g, returning a
+// descriptive error otherwise.
+func (ck *Checkpoint) validateFor(g *graph.Graph, cfg Config) error {
+	switch {
+	case ck == nil:
+		return fmt.Errorf("core: nil checkpoint")
+	case ck.Version != checkpointVersion:
+		return fmt.Errorf("core: checkpoint format v%d, this build reads v%d",
+			ck.Version, checkpointVersion)
+	case ck.ConfigHash != cfg.resumeHash():
+		return fmt.Errorf("core: checkpoint was recorded under a different config " +
+			"(only Workers and MaxEpochs may change across a resume)")
+	case ck.GraphFingerprint != g.Fingerprint():
+		return fmt.Errorf("core: checkpoint was recorded on a different graph")
+	case ck.Nodes != g.NumNodes() || ck.Dim != cfg.Dim:
+		return fmt.Errorf("core: checkpoint shape %dx%d does not match run %dx%d",
+			ck.Nodes, ck.Dim, g.NumNodes(), cfg.Dim)
+	case len(ck.Win) != ck.Nodes*ck.Dim || len(ck.Wout) != ck.Nodes*ck.Dim:
+		return fmt.Errorf("core: checkpoint matrices have %d/%d values, want %d",
+			len(ck.Win), len(ck.Wout), ck.Nodes*ck.Dim)
+	case ck.Epoch < 0 || len(ck.LossHistory) != ck.Epoch:
+		return fmt.Errorf("core: checkpoint at epoch %d carries %d loss entries",
+			ck.Epoch, len(ck.LossHistory))
+	case cfg.Private && !ck.HasAccountant:
+		return fmt.Errorf("core: private resume needs an accountant snapshot")
+	}
+	return nil
+}
+
+// Encode writes ck to w in the stable binary checkpoint format
+// (encoding/gob, which round-trips float64 values exactly — a requirement
+// of the bit-identical resume contract).
+func (ck *Checkpoint) Encode(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// DecodeCheckpoint reads a checkpoint previously written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := gob.NewDecoder(r).Decode(ck); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint format v%d, this build reads v%d",
+			ck.Version, checkpointVersion)
+	}
+	return ck, nil
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"seprivgemb/internal/dp"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/skipgram"
+	"seprivgemb/internal/xrand"
+)
+
+// StopReason records why a training run ended.
+type StopReason int
+
+const (
+	// StopCompleted: the run finished all MaxEpochs epochs.
+	StopCompleted StopReason = iota
+	// StopBudget: the δ̂ ≥ δ rule (Algorithm 2 line 10) ended training.
+	StopBudget
+	// StopCanceled: the context was canceled or its deadline passed; the
+	// Result holds the best-so-far model and a resumable Checkpoint.
+	StopCanceled
+)
+
+// String implements fmt.Stringer.
+func (s StopReason) String() string {
+	switch s {
+	case StopCompleted:
+		return "completed"
+	case StopBudget:
+		return "budget"
+	case StopCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
+}
+
+// EpochStats is the per-epoch observation handed to an EpochHook: the loss
+// and privacy spend of the epoch that just completed.
+type EpochStats struct {
+	// Epoch is the zero-based index of the completed epoch.
+	Epoch int
+	// Loss is the epoch's average batch loss.
+	Loss float64
+	// EpsSpent is the ε certified at the target δ after this epoch
+	// (zero for non-private runs), and DeltaSpent the δ̂ at the target ε.
+	EpsSpent   float64
+	DeltaSpent float64
+	// Elapsed is the wall-clock time since TrainContext was entered (a
+	// resumed run counts from the resume, not the original start).
+	Elapsed time.Duration
+}
+
+// EpochHook observes training progress. Hook ordering guarantees
+// (DESIGN.md §8): the hook runs synchronously on the training goroutine,
+// exactly once per completed epoch, in epoch order, after the epoch's
+// updates and accountant step and before the next epoch's sampling — so a
+// hook that reads the accountant via the stats always sees the spend of
+// the epoch it was called for. A slow hook therefore stalls training;
+// callers needing isolation should hand off to their own goroutine.
+type EpochHook func(EpochStats)
+
+// Hooks configures the observability and durability of a TrainContext run.
+// The zero value reproduces plain Train exactly.
+type Hooks struct {
+	// Epoch, when non-nil, is invoked after every completed epoch.
+	Epoch EpochHook
+	// CheckpointEvery > 0 snapshots training after every CheckpointEvery-th
+	// epoch (by absolute epoch number) and once more when the run stops.
+	CheckpointEvery int
+	// Checkpoint, when non-nil, receives every snapshot (including the
+	// final one). The checkpoint is deep-copied and immutable; the hook is
+	// called on the training goroutine, after the same epoch's Epoch hook.
+	// Setting Checkpoint without CheckpointEvery emits only the final
+	// snapshot.
+	Checkpoint func(*Checkpoint)
+	// Resume, when non-nil, restores the run from a checkpoint instead of
+	// starting at epoch 0. The config and graph must match the recorded
+	// run (Config.Workers and Config.MaxEpochs may differ); the resumed
+	// run is bit-identical to one that never stopped.
+	Resume *Checkpoint
+}
+
+// TrainContext is the context-aware form of Train (Algorithm 2): identical
+// numerics, plus cancellation, per-epoch observation, and checkpoint/resume.
+//
+// Cancellation is honored at epoch granularity: the context is checked
+// before each epoch, and a canceled run returns the best-so-far *Result —
+// not an error — with Stopped == StopCanceled, Epochs recording how many
+// epochs ran, and Result.Checkpoint holding a snapshot that resumes the run
+// bit-identically (pass it back via Hooks.Resume). An error return is
+// reserved for invalid configs, graphs, or checkpoints.
+//
+// The zero Hooks value makes TrainContext(context.Background(), ...)
+// equivalent to Train(...) bit for bit.
+func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity, cfg Config, hooks Hooks) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	// Reject a mismatched checkpoint before the O(|E|) setup below —
+	// subgraph generation and the proximity weight scan can cost minutes
+	// on large graphs with lazy measures, and an invalid resume must not
+	// pay for them.
+	if hooks.Resume != nil {
+		if err := hooks.Resume.validateFor(g, cfg); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	rng := xrand.New(cfg.Seed)
+
+	// Line 2: divide the graph into disjoint subgraphs, sharded across
+	// cfg.Workers with per-edge index-addressed randomness. On resume this
+	// replays identically — subgraphs are a pure function of cfg.Seed.
+	subs, err := GenerateSubgraphsWorkers(g, cfg.K, cfg.NegSampling, rng, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	// Line 1: compute the node proximity, evaluated on each subgraph's
+	// oriented positive pair (p_ij is direction-sensitive for random-walk
+	// measures). Weights are rescaled to mean 1 over the observed edges:
+	// raw magnitudes differ by orders of magnitude across measures (e.g.
+	// row-stochastic DeepWalk entries are O(1/d)), and a constant rescale
+	// of P only shifts the Theorem 3 optimum log(p_ij/(k·min(P))) by a
+	// constant while keeping the gradient scale — and hence the
+	// signal-to-noise ratio of the private updates — comparable across
+	// structure preferences.
+	weights := make([]float64, len(subs))
+	var wsum float64
+	for si, s := range subs {
+		weights[si] = prox.At(int(s.I), int(s.J))
+		wsum += weights[si]
+	}
+	if wsum > 0 {
+		mathx.Scale(float64(len(weights))/wsum, weights)
+	}
+	// Line 3: initialize the weight matrices. A resumed run re-draws the
+	// initialization (keeping the RNG aligned with the original stream) and
+	// then overwrites both matrices and the RNG from the checkpoint.
+	model := skipgram.New(g.NumNodes(), cfg.Dim, rng)
+
+	var acct *dp.Accountant
+	var noise xrand.Stream
+	if cfg.Private {
+		acct = dp.NewAccountant(nil)
+		// The DP noise of Eq. (6)/(9) comes from a counter-based stream
+		// rooted here (one draw off the run RNG), addressed by
+		// (epoch, matrix, row, coordinate) instead of drawn sequentially,
+		// so the update stage can shard across workers (parallel.go).
+		// Non-private runs skip the draw: their RNG sequence is identical
+		// to the pre-stream layout.
+		noise = xrand.NewStream(rng.Uint64())
+	}
+	gamma := float64(cfg.BatchSize) / float64(g.NumEdges())
+
+	res := &Result{Model: model}
+	startEpoch := 0
+	if ck := hooks.Resume; ck != nil {
+		copy(model.Win.Data, ck.Win)
+		copy(model.Wout.Data, ck.Wout)
+		rng.Restore(ck.RNG)
+		if cfg.Private {
+			noise = xrand.StreamFromState(ck.Noise)
+			if acct, err = dp.NewAccountantFromState(ck.Accountant); err != nil {
+				return nil, err
+			}
+		}
+		startEpoch = ck.Epoch
+		res.Epochs = ck.Epoch
+		res.LossHistory = append(res.LossHistory, ck.LossHistory...)
+		res.EpsilonSpent, res.DeltaSpent = ck.EpsilonSpent, ck.DeltaSpent
+		// Re-evaluate the stopping rule on the restored accountant: a
+		// checkpoint taken at a budget-exhausted boundary must not buy
+		// extra epochs by resuming — the resumed run ends exactly where
+		// the uninterrupted one did.
+		if cfg.Private && startEpoch > 0 {
+			if dHat, _ := acct.DeltaFor(cfg.Epsilon); dHat >= cfg.Delta {
+				res.StoppedByBudget = true
+				res.Stopped = StopBudget
+				startEpoch = cfg.MaxEpochs // skip the loop
+			}
+		}
+	}
+
+	eng := newEngine(model, subs, weights, cfg, noise)
+	defer eng.close()
+	// An epoch touches at most B distinct Win rows (one center per
+	// example) and (k+1)·B distinct Wout rows; pre-sizing the pools keeps
+	// the accumulators allocation-free on the hot path.
+	accIn := newRowAccumulator(cfg.Dim, cfg.BatchSize)
+	accOut := newRowAccumulator(cfg.Dim, (cfg.K+1)*cfg.BatchSize)
+
+	// emitCheckpoint snapshots the run at the current epoch boundary,
+	// records it on the Result, and feeds the Checkpoint hook.
+	emitCheckpoint := func() {
+		res.Checkpoint = captureCheckpoint(g, cfg, model, rng, noise, acct, res)
+		if hooks.Checkpoint != nil {
+			hooks.Checkpoint(res.Checkpoint)
+		}
+	}
+
+	for epoch := startEpoch; epoch < cfg.MaxEpochs; epoch++ {
+		// Cancellation boundary: between epochs the model, RNG and
+		// accountant are mutually consistent, so this is the one place a
+		// stop can produce a resumable snapshot.
+		if ctx.Err() != nil {
+			res.Stopped = StopCanceled
+			emitCheckpoint()
+			return res, nil
+		}
+		// Line 5: sample B subgraphs uniformly at random (without
+		// replacement; Definition 6 with γ = B/|E|).
+		idx := rng.SampleWithoutReplacement(len(subs), cfg.BatchSize)
+		accIn.reset()
+		accOut.reset()
+		// Per-example losses and clipped gradients (the stage that
+		// parallelizes across cfg.Workers), reduced in batch order.
+		lossSum := eng.gradientStage(idx, accIn, accOut)
+		res.LossHistory = append(res.LossHistory, lossSum/float64(cfg.BatchSize))
+
+		// Lines 6–7: perturb and apply the updates to Win and Wout,
+		// sharded across the pool with index-addressed noise.
+		eng.applyUpdate(model.Win, accIn, epoch, matWin)
+		eng.applyUpdate(model.Wout, accOut, epoch, matWout)
+		res.Epochs = epoch + 1
+
+		// Lines 8–10: update the RDP accountant with sampling probability
+		// B/|E| and stop once the spent δ̂ reaches the budget.
+		stopBudget := false
+		if cfg.Private {
+			acct.AddGaussianStep(gamma, cfg.Sigma)
+			dHat, _ := acct.DeltaFor(cfg.Epsilon)
+			res.DeltaSpent = dHat
+			res.EpsilonSpent, _ = acct.EpsilonFor(cfg.Delta)
+			if dHat >= cfg.Delta {
+				res.StoppedByBudget = true
+				res.Stopped = StopBudget
+				stopBudget = true
+			}
+		}
+		if hooks.Epoch != nil {
+			hooks.Epoch(EpochStats{
+				Epoch:      epoch,
+				Loss:       res.LossHistory[len(res.LossHistory)-1],
+				EpsSpent:   res.EpsilonSpent,
+				DeltaSpent: res.DeltaSpent,
+				Elapsed:    time.Since(start),
+			})
+		}
+		if hooks.CheckpointEvery > 0 && (epoch+1)%hooks.CheckpointEvery == 0 {
+			emitCheckpoint()
+		}
+		if stopBudget {
+			break
+		}
+	}
+	// Final snapshot for callers that asked for checkpoints, unless the
+	// periodic cadence already produced one at this exact boundary.
+	if (hooks.CheckpointEvery > 0 || hooks.Checkpoint != nil) &&
+		(res.Checkpoint == nil || res.Checkpoint.Epoch != res.Epochs) {
+		emitCheckpoint()
+	}
+	return res, nil
+}

@@ -1,16 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
-	"seprivgemb/internal/dp"
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/proximity"
 	"seprivgemb/internal/skipgram"
-	"seprivgemb/internal/xrand"
 )
 
 // Strategy selects how the batch gradient is perturbed before the update.
@@ -127,10 +126,15 @@ type Result struct {
 	// Model holds the (ε, δ)-private Win and Wout; Model.Win is the
 	// published embedding matrix (Definition 5).
 	Model *skipgram.Model
-	// Epochs is the number of completed training epochs.
+	// Epochs is the number of completed training epochs (the EpochsRun of
+	// a partial, canceled run).
 	Epochs int
+	// Stopped records why the run ended: StopCompleted, StopBudget, or —
+	// for TrainContext runs whose context was canceled — StopCanceled.
+	Stopped StopReason
 	// StoppedByBudget reports whether the δ̂ ≥ δ rule (Algorithm 2 line 10)
-	// ended training before MaxEpochs.
+	// ended training before MaxEpochs. Equivalent to Stopped == StopBudget;
+	// kept for pre-Session callers.
 	StoppedByBudget bool
 	// EpsilonSpent is the final ε certified at the target δ (private runs).
 	EpsilonSpent float64
@@ -138,6 +142,10 @@ type Result struct {
 	DeltaSpent float64
 	// LossHistory records the average batch loss of every epoch.
 	LossHistory []float64
+	// Checkpoint is the snapshot at the run's final epoch boundary. It is
+	// populated when the run was canceled (so the partial result is always
+	// resumable) or when Hooks requested checkpointing; nil otherwise.
+	Checkpoint *Checkpoint
 }
 
 // Embedding returns the published embedding matrix Win.
@@ -153,92 +161,13 @@ func (r *Result) Embedding() *mathx.Matrix { return r.Model.Win }
 // bit-identical to the serial run at every worker count because every
 // parallel stage either consumes no randomness or addresses its draws by
 // stable indices on counter-based streams (parallel.go, DESIGN.md §6).
+//
+// Train is the blocking, fire-and-forget form: it cannot be canceled,
+// observed, or resumed. New callers should prefer TrainContext (or the
+// root package's Session), of which this is the zero-Hooks special case —
+// bit-identical output, same errors.
 func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	rng := xrand.New(cfg.Seed)
-
-	// Line 2: divide the graph into disjoint subgraphs, sharded across
-	// cfg.Workers with per-edge index-addressed randomness.
-	subs, err := GenerateSubgraphsWorkers(g, cfg.K, cfg.NegSampling, rng, cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
-	// Line 1: compute the node proximity, evaluated on each subgraph's
-	// oriented positive pair (p_ij is direction-sensitive for random-walk
-	// measures). Weights are rescaled to mean 1 over the observed edges:
-	// raw magnitudes differ by orders of magnitude across measures (e.g.
-	// row-stochastic DeepWalk entries are O(1/d)), and a constant rescale
-	// of P only shifts the Theorem 3 optimum log(p_ij/(k·min(P))) by a
-	// constant while keeping the gradient scale — and hence the
-	// signal-to-noise ratio of the private updates — comparable across
-	// structure preferences.
-	weights := make([]float64, len(subs))
-	var wsum float64
-	for si, s := range subs {
-		weights[si] = prox.At(int(s.I), int(s.J))
-		wsum += weights[si]
-	}
-	if wsum > 0 {
-		mathx.Scale(float64(len(weights))/wsum, weights)
-	}
-	// Line 3: initialize the weight matrices.
-	model := skipgram.New(g.NumNodes(), cfg.Dim, rng)
-
-	var acct *dp.Accountant
-	var noise xrand.Stream
-	if cfg.Private {
-		acct = dp.NewAccountant(nil)
-		// The DP noise of Eq. (6)/(9) comes from a counter-based stream
-		// rooted here (one draw off the run RNG), addressed by
-		// (epoch, matrix, row, coordinate) instead of drawn sequentially,
-		// so the update stage can shard across workers (parallel.go).
-		// Non-private runs skip the draw: their RNG sequence is identical
-		// to the pre-stream layout.
-		noise = xrand.NewStream(rng.Uint64())
-	}
-	gamma := float64(cfg.BatchSize) / float64(g.NumEdges())
-
-	res := &Result{Model: model}
-	eng := newEngine(model, subs, weights, cfg, noise)
-	defer eng.close()
-	// An epoch touches at most B distinct Win rows (one center per
-	// example) and (k+1)·B distinct Wout rows; pre-sizing the pools keeps
-	// the accumulators allocation-free on the hot path.
-	accIn := newRowAccumulator(cfg.Dim, cfg.BatchSize)
-	accOut := newRowAccumulator(cfg.Dim, (cfg.K+1)*cfg.BatchSize)
-	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
-		// Line 5: sample B subgraphs uniformly at random (without
-		// replacement; Definition 6 with γ = B/|E|).
-		idx := rng.SampleWithoutReplacement(len(subs), cfg.BatchSize)
-		accIn.reset()
-		accOut.reset()
-		// Per-example losses and clipped gradients (the stage that
-		// parallelizes across cfg.Workers), reduced in batch order.
-		lossSum := eng.gradientStage(idx, accIn, accOut)
-		res.LossHistory = append(res.LossHistory, lossSum/float64(cfg.BatchSize))
-
-		// Lines 6–7: perturb and apply the updates to Win and Wout,
-		// sharded across the pool with index-addressed noise.
-		eng.applyUpdate(model.Win, accIn, epoch, matWin)
-		eng.applyUpdate(model.Wout, accOut, epoch, matWout)
-		res.Epochs = epoch + 1
-
-		// Lines 8–10: update the RDP accountant with sampling probability
-		// B/|E| and stop once the spent δ̂ reaches the budget.
-		if cfg.Private {
-			acct.AddGaussianStep(gamma, cfg.Sigma)
-			dHat, _ := acct.DeltaFor(cfg.Epsilon)
-			res.DeltaSpent = dHat
-			res.EpsilonSpent, _ = acct.EpsilonFor(cfg.Delta)
-			if dHat >= cfg.Delta {
-				res.StoppedByBudget = true
-				break
-			}
-		}
-	}
-	return res, nil
+	return TrainContext(context.Background(), g, prox, cfg, Hooks{})
 }
 
 // clipJoint rescales the concatenation of rows to ℓ2 norm at most c,

@@ -166,6 +166,47 @@ func (a *Accountant) DeltaFor(eps float64) (delta float64, order int) {
 	return best, bestOrd
 }
 
+// AccountantState is a serializable snapshot of an Accountant, captured by
+// State and restored by NewAccountantFromState. It is part of the training
+// checkpoint format (DESIGN.md §8): resuming a private run must continue
+// RDP composition from the exact per-order totals, or the δ̂ ≥ δ stopping
+// rule would fire at a different epoch than the uninterrupted run.
+type AccountantState struct {
+	Orders []int
+	Eps    []float64
+	Steps  int
+}
+
+// State returns a deep snapshot of the accountant's composition so far.
+func (a *Accountant) State() AccountantState {
+	return AccountantState{
+		Orders: append([]int(nil), a.orders...),
+		Eps:    append([]float64(nil), a.eps...),
+		Steps:  a.steps,
+	}
+}
+
+// NewAccountantFromState reconstructs an accountant from a snapshot.
+func NewAccountantFromState(st AccountantState) (*Accountant, error) {
+	if len(st.Orders) == 0 || len(st.Orders) != len(st.Eps) {
+		return nil, fmt.Errorf("dp: accountant state with %d orders, %d eps entries",
+			len(st.Orders), len(st.Eps))
+	}
+	for _, a := range st.Orders {
+		if a < 2 {
+			return nil, fmt.Errorf("dp: accountant state order %d < 2", a)
+		}
+	}
+	if st.Steps < 0 {
+		return nil, fmt.Errorf("dp: accountant state with %d steps", st.Steps)
+	}
+	return &Accountant{
+		orders: append([]int(nil), st.Orders...),
+		eps:    append([]float64(nil), st.Eps...),
+		steps:  st.Steps,
+	}, nil
+}
+
 // RDPAt returns the accumulated RDP ε at the given order, for inspection
 // and testing. It panics if the order is not tracked.
 func (a *Accountant) RDPAt(order int) float64 {

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+// The sharded evaluation stages' scaling curves (PR 3). Like the training
+// benchmarks, worker counts only separate on multi-core hosts; the dev
+// container is single-CPU, where the curves are flat.
+
+func BenchmarkStrucEquWorkers(b *testing.B) {
+	g := graph.BarabasiAlbert(1200, 4, xrand.New(21))
+	emb := randomEmbedding(g.NumNodes(), 64, 3)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				StrucEquWorkers(g, emb, workers)
+			}
+		})
+	}
+}
+
+func BenchmarkLinkAUCWorkers(b *testing.B) {
+	g := graph.BarabasiAlbert(3000, 6, xrand.New(22))
+	split, err := SplitLinkPrediction(g, 0.2, xrand.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	emb := randomEmbedding(g.NumNodes(), 128, 9)
+	score := func(u, v int) float64 { return mathx.Dot(emb.Row(u), emb.Row(v)) }
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				LinkAUCWorkers(split, score, workers)
+			}
+		})
+	}
+}

@@ -123,15 +123,8 @@ func AUC(pos, neg []float64) float64 {
 type Scorer func(u, v int) float64
 
 // LinkAUC applies the scorer to the split's held-out positives and
-// negatives and returns the ROC AUC.
+// negatives and returns the ROC AUC. LinkAUCWorkers shards the scoring
+// pass across goroutines.
 func LinkAUC(split *LinkSplit, score Scorer) float64 {
-	pos := make([]float64, len(split.TestPos))
-	for i, e := range split.TestPos {
-		pos[i] = score(int(e.U), int(e.V))
-	}
-	neg := make([]float64, len(split.TestNeg))
-	for i, e := range split.TestNeg {
-		neg[i] = score(int(e.U), int(e.V))
-	}
-	return AUC(pos, neg)
+	return LinkAUCWorkers(split, score, 1)
 }

@@ -1,0 +1,118 @@
+package eval
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+)
+
+// This file shards the two evaluation hot paths — StrucEqu's O(|V|²) pair
+// scan and LinkAUC's link scoring — across a worker pool. Both follow the
+// index-addressed pattern of the determinism contract (DESIGN.md §6
+// pattern 1: consume no randomness, write to disjoint pre-indexed slots):
+// every (i, j) pair owns a fixed position in the distance arrays and every
+// test link owns a fixed position in the score arrays, so workers never
+// contend and the assembled arrays are byte-identical to the serial scan
+// at any worker count. The final reduction (Pearson, rank-based AUC) then
+// runs single-threaded over arrays whose element order never changed.
+
+// pairBase returns the index of pair (i, i+1) in the flattened upper
+// triangle enumerated row-major: (0,1), (0,2), …, (0,n−1), (1,2), …
+func pairBase(i, n int) int {
+	return i*(n-1) - i*(i-1)/2
+}
+
+// parallelRows runs fn(i) for every i in [0, n) across `workers`
+// goroutines, handing out rows in chunks from an atomic cursor. Dynamic
+// chunking balances the triangular row costs (row 0 has n−1 pairs, row
+// n−2 has one) without affecting output: rows write to disjoint
+// index-addressed slots, so the schedule is invisible in the result.
+func parallelRows(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	const chunk = 16
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// StrucEquWorkers is StrucEqu with the pair scan sharded across `workers`
+// goroutines. Each node row i fills its fixed slice of the distance
+// arrays (pairs (i, i+1)…(i, n−1) at pairBase(i)), so the result is
+// bit-identical to the serial scan at every worker count. workers <= 1
+// selects the serial path.
+func StrucEquWorkers(g *graph.Graph, emb *mathx.Matrix, workers int) float64 {
+	n := g.NumNodes()
+	checkEmbedding(g, emb)
+	total := n * (n - 1) / 2
+	adjD := make([]float64, total)
+	embD := make([]float64, total)
+	parallelRows(workers, n-1, func(i int) {
+		di := float64(g.Degree(i))
+		base := pairBase(i, n)
+		for j := i + 1; j < n; j++ {
+			sq := di + float64(g.Degree(j)) - 2*float64(g.CommonNeighbors(i, j))
+			if sq < 0 {
+				sq = 0 // guard floating rounding; exact arithmetic is integral
+			}
+			at := base + (j - i - 1)
+			adjD[at] = math.Sqrt(sq)
+			embD[at] = mathx.EuclideanDistance(emb.Row(i), emb.Row(j))
+		}
+	})
+	return mathx.Pearson(adjD, embD)
+}
+
+// LinkAUCWorkers is LinkAUC with the scoring pass sharded across `workers`
+// goroutines: each test link's score lands at its index, then the
+// rank-based AUC reduction runs serially over arrays whose order is
+// independent of the schedule — bit-identical at every worker count.
+//
+// The scorer is called concurrently and must be safe for that; every
+// scorer in this repository is a read-only function of an immutable
+// embedding or graph, which qualifies.
+func LinkAUCWorkers(split *LinkSplit, score Scorer, workers int) float64 {
+	pos := make([]float64, len(split.TestPos))
+	neg := make([]float64, len(split.TestNeg))
+	parallelRows(workers, len(split.TestPos), func(i int) {
+		e := split.TestPos[i]
+		pos[i] = score(int(e.U), int(e.V))
+	})
+	parallelRows(workers, len(split.TestNeg), func(i int) {
+		e := split.TestNeg[i]
+		neg[i] = score(int(e.U), int(e.V))
+	})
+	return AUC(pos, neg)
+}

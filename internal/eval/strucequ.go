@@ -20,24 +20,10 @@ import (
 // adjacency matrix and Y_i is the embedding of node i (Section VI-A). The
 // adjacency-side distance uses the closed form
 // ||A_i − A_j||² = d_i + d_j − 2·CN(i, j), so adjacency rows are never
-// materialized. Cost is O(|V|²·r); use StrucEquSampled beyond ~6k nodes.
+// materialized. Cost is O(|V|²·r); use StrucEquSampled beyond ~6k nodes,
+// or StrucEquWorkers to shard the exact scan across goroutines.
 func StrucEqu(g *graph.Graph, emb *mathx.Matrix) float64 {
-	n := g.NumNodes()
-	checkEmbedding(g, emb)
-	adjD := make([]float64, 0, n*(n-1)/2)
-	embD := make([]float64, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		di := float64(g.Degree(i))
-		for j := i + 1; j < n; j++ {
-			sq := di + float64(g.Degree(j)) - 2*float64(g.CommonNeighbors(i, j))
-			if sq < 0 {
-				sq = 0 // guard floating rounding; exact arithmetic is integral
-			}
-			adjD = append(adjD, math.Sqrt(sq))
-			embD = append(embD, mathx.EuclideanDistance(emb.Row(i), emb.Row(j)))
-		}
-	}
-	return mathx.Pearson(adjD, embD)
+	return StrucEquWorkers(g, emb, 1)
 }
 
 // StrucEquSampled estimates StrucEqu from `pairs` uniformly sampled node

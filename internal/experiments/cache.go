@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 
+	"seprivgemb/internal/core"
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/proximity"
 )
@@ -28,10 +30,22 @@ import (
 // training splits) fall back to the direct lazy measure, where one-shot
 // At-by-edge evaluation is cheaper than materializing every row.
 type Memo struct {
-	mu     sync.Mutex
-	graphs map[graphKey]*graphEntry
-	prox   map[proxKey]*proxEntry
-	known  map[*graph.Graph]bool
+	mu      sync.Mutex
+	graphs  map[graphKey]*graphEntry
+	prox    map[proxKey]*proxEntry
+	known   map[*graph.Graph]bool
+	results map[ResultKey]*resultEntry
+}
+
+// ResultKey identifies a training run up to bit-identical output: the exact
+// graph (fingerprint), the structure preference, and the result-shaping
+// config fields (core.Config.Hash, which excludes Workers). Two submissions
+// with equal keys would train the very same embedding, so the service layer
+// runs one and hands the result to both.
+type ResultKey struct {
+	Graph     uint64 // graph.Fingerprint of the training graph
+	Proximity string // Proximity.Name of the structure preference
+	Config    uint64 // core.Config.Hash of the hyperparameters
 }
 
 type graphKey struct {
@@ -57,13 +71,72 @@ type proxEntry struct {
 	err  error
 }
 
+// resultEntry is a cancellation-aware singleflight slot: sem (capacity 1)
+// is the entry's lock, acquired with a select so a waiter can abandon the
+// flight when its context dies instead of blocking behind a long training
+// run. done/res are only touched while holding sem.
+type resultEntry struct {
+	sem  chan struct{}
+	done bool
+	res  *core.Result
+}
+
 // NewMemo returns an empty sweep cache.
 func NewMemo() *Memo {
 	return &Memo{
-		graphs: make(map[graphKey]*graphEntry),
-		prox:   make(map[proxKey]*proxEntry),
-		known:  make(map[*graph.Graph]bool),
+		graphs:  make(map[graphKey]*graphEntry),
+		prox:    make(map[proxKey]*proxEntry),
+		known:   make(map[*graph.Graph]bool),
+		results: make(map[ResultKey]*resultEntry),
 	}
+}
+
+// ResultFor returns the memoized training result for key, invoking run to
+// produce it on first use. Concurrent requesters for one key block on the
+// winner (singleflight), so identical submissions never train twice; a
+// waiter whose ctx ends while the winner is still training returns
+// ctx.Err() immediately rather than waiting out a run it no longer wants
+// (nil ctx behaves as context.Background()).
+//
+// Only completed runs are memoized: run outcomes that errored or were
+// canceled mid-training (core.StopCanceled) are returned to their caller
+// but leave the entry open, so the next identical submission computes
+// afresh rather than being served a partial embedding.
+//
+// Results are retained for the life of the Memo — the serving layer's
+// repeat-submission cache. Callers managing many large graphs should scope
+// a Memo per tenancy unit rather than letting one grow without bound.
+//
+// Every caller for a key receives the SAME *core.Result (that is the
+// point: one training, many consumers), so the result — including its
+// Model matrices — must be treated as read-only. A caller needing to
+// transform the embedding in place must copy it first, or it corrupts the
+// cache for every later identical submission.
+func (m *Memo) ResultFor(ctx context.Context, key ResultKey, run func() (*core.Result, error)) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	e, ok := m.results[key]
+	if !ok {
+		e = &resultEntry{sem: make(chan struct{}, 1)}
+		m.results[key] = e
+	}
+	m.mu.Unlock()
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	if e.done {
+		return e.res, nil
+	}
+	res, err := run()
+	if err == nil && res != nil && res.Stopped != core.StopCanceled {
+		e.res, e.done = res, true
+	}
+	return res, err
 }
 
 // graphFor returns the cached simulation for the key, generating it on

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -50,7 +51,20 @@ type Options struct {
 	// the cells of a sweep, keyed by (dataset, scale, seed) and measure
 	// (see Memo). nil disables caching; Default and Quick enable it.
 	Cache *Memo
-	Out   io.Writer
+	// Ctx cancels a sweep between training epochs: each cell's run goes
+	// through core.TrainContext, so cancellation stops mid-cell (at the
+	// next epoch boundary) and the sweep returns the context's error
+	// rather than printing partial tables. nil means context.Background().
+	Ctx context.Context
+	Out io.Writer
+}
+
+// ctx returns the sweep's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 // Default returns harness settings that regenerate every experiment at
@@ -147,14 +161,23 @@ func meanSD(xs []float64) string {
 
 // runSE trains SE-PrivGEmb (or SE-GEmb when private is false) once and
 // returns the trained result. The proximity comes from the sweep cache
-// when one is configured.
+// when one is configured. The run honors the sweep's context: a canceled
+// sweep surfaces the context error instead of a partial embedding, so no
+// half-trained number ever reaches a printed table.
 func (o Options) runSE(g *graph.Graph, proxName string, cfg core.Config, seed uint64) (*core.Result, error) {
 	prox, err := o.proximityFor(g, proxName)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Seed = seed
-	return core.Train(g, prox, cfg)
+	res, err := core.TrainContext(o.ctx(), g, prox, cfg, core.Hooks{})
+	if err != nil {
+		return nil, err
+	}
+	if res.Stopped == core.StopCanceled {
+		return nil, o.ctx().Err()
+	}
+	return res, nil
 }
 
 // seStrucEqu runs SE over the option's seeds — fanned across o.Workers

@@ -12,6 +12,9 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"seprivgemb/internal/mathx"
 )
 
 // Edge is an undirected edge between nodes U and V, stored with U < V.
@@ -28,6 +31,11 @@ type Graph struct {
 	edges  []Edge
 	offset []int32 // len n+1
 	adj    []int32 // len 2*|E|, neighbors sorted ascending per node
+
+	// fp caches Fingerprint (the graph is immutable; Graphs are always
+	// handled by pointer, so the Once is never copied).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // NumNodes returns |V|.
@@ -41,6 +49,26 @@ func (g *Graph) Edges() []Edge { return g.edges }
 
 // Edge returns the i-th edge.
 func (g *Graph) Edge(i int) Edge { return g.edges[i] }
+
+// Fingerprint returns a 64-bit FNV-1a hash over |V| and the sorted edge
+// list — a cheap identity for a graph's exact structure. Two graphs share a
+// fingerprint iff they have the same node count and edge set (modulo hash
+// collisions), independent of how they were constructed. It keys the
+// service layer's job deduplication and guards checkpoint resumption
+// against a mismatched graph. The graph is immutable, so the O(|E|) scan
+// runs once and is cached for the serving paths that fingerprint on every
+// submission and checkpoint.
+func (g *Graph) Fingerprint() uint64 {
+	g.fpOnce.Do(func() {
+		h := mathx.NewFNV64()
+		h.Word(uint64(g.n))
+		for _, e := range g.edges {
+			h.Word(uint64(uint32(e.U))<<32 | uint64(uint32(e.V)))
+		}
+		g.fp = h.Sum()
+	})
+	return g.fp
+}
 
 // Neighbors returns the sorted neighbor list of node u.
 // The caller must not modify it.

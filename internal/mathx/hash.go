@@ -1,0 +1,23 @@
+package mathx
+
+// FNV64 is a byte-wise FNV-1a accumulator over 64-bit words: each Word is
+// folded in little-endian byte order. It is the one hashing primitive
+// behind the repository's identity digests — graph fingerprints and config
+// hashes (checkpoint pinning, service deduplication) — kept in this leaf
+// package so the two cannot drift apart.
+type FNV64 struct{ sum uint64 }
+
+// NewFNV64 returns an accumulator at the FNV-1a offset basis.
+func NewFNV64() FNV64 { return FNV64{sum: 0xcbf29ce484222325} }
+
+// Word folds the eight bytes of v into the hash, low byte first.
+func (h *FNV64) Word(v uint64) {
+	const prime = 0x100000001b3
+	for s := 0; s < 64; s += 8 {
+		h.sum ^= (v >> s) & 0xff
+		h.sum *= prime
+	}
+}
+
+// Sum returns the current digest.
+func (h *FNV64) Sum() uint64 { return h.sum }

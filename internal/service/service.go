@@ -1,0 +1,331 @@
+// Package service is the first serving-shaped layer over the trainer: a
+// job queue that runs SE-PrivGEmb training requests concurrently while
+// (a) bounding the total worker goroutines across all running jobs,
+// (b) deduplicating identical submissions — same graph fingerprint,
+// structure preference, and result-shaping config — through the sweep
+// cache's result memo (experiments.Memo.ResultFor), so a popular
+// (graph, proximity, config) trains once no matter how many callers ask,
+// and (c) exposing each job's live progress, cancellation, and final
+// result through a Job handle.
+//
+// Determinism carries through unchanged: a job's output depends only on
+// its (graph, proximity, config), never on queue order, concurrency, or
+// which submission of a deduplicated group actually trained.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/experiments"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/proximity"
+)
+
+// Options configures a Service.
+type Options struct {
+	// MaxWorkers bounds the total training-worker slots across all
+	// concurrently running jobs; 0 defaults to GOMAXPROCS. A job consumes
+	// max(1, min(cfg.Workers, MaxWorkers)) slots while it runs, so a
+	// single wide job can never starve the service of slots it could
+	// legally grant.
+	MaxWorkers int
+	// Memo supplies the result/artifact cache. Sharing one Memo between a
+	// Service and an experiments sweep shares their caches; nil gets the
+	// service a private Memo.
+	Memo *experiments.Memo
+}
+
+// Status is a Job's lifecycle state.
+type Status int32
+
+const (
+	// StatusQueued: submitted, waiting for worker slots.
+	StatusQueued Status = iota
+	// StatusRunning: training (or waiting on a deduplicated twin's run).
+	StatusRunning
+	// StatusDone: finished; Result returns the embedding.
+	StatusDone
+	// StatusFailed: finished with an error.
+	StatusFailed
+	// StatusCanceled: canceled; Result may hold a partial, resumable run.
+	StatusCanceled
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusDone:
+		return "done"
+	case StatusFailed:
+		return "failed"
+	case StatusCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("Status(%d)", int32(s))
+	}
+}
+
+// Service queues, deduplicates, and runs training jobs. Construct with New;
+// the zero value is not usable.
+type Service struct {
+	opts  Options
+	slots chan struct{} // MaxWorkers tokens
+	// acq serializes multi-slot acquisition (two half-acquired wide jobs
+	// can never deadlock, and grants are roughly FIFO). It is a
+	// channel-based lock rather than a sync.Mutex so that a queued job
+	// blocked BEHIND another queued job can still honor cancellation.
+	acq chan struct{}
+
+	mu     sync.Mutex
+	jobs   map[experiments.ResultKey]*Job
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New returns a Service ready to accept submissions.
+func New(opts Options) *Service {
+	if opts.MaxWorkers < 1 {
+		opts.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Memo == nil {
+		opts.Memo = experiments.NewMemo()
+	}
+	s := &Service{
+		opts:  opts,
+		slots: make(chan struct{}, opts.MaxWorkers),
+		acq:   make(chan struct{}, 1),
+		jobs:  make(map[experiments.ResultKey]*Job),
+	}
+	for i := 0; i < opts.MaxWorkers; i++ {
+		s.slots <- struct{}{}
+	}
+	s.acq <- struct{}{}
+	return s
+}
+
+// Job is the handle to one submitted training run.
+type Job struct {
+	key    experiments.ResultKey
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	status atomic.Int32
+	// canceled is set synchronously by Cancel, ahead of the (async)
+	// status transition, so Submit's dedup never hands out a job that is
+	// already doomed.
+	canceled atomic.Bool
+	stats    atomic.Value // core.EpochStats of the latest completed epoch
+
+	// res/err are written once, before done is closed.
+	res *core.Result
+	err error
+}
+
+// Key returns the job's deduplication key.
+func (j *Job) Key() experiments.ResultKey { return j.key }
+
+// Status returns the job's current lifecycle state.
+func (j *Job) Status() Status { return Status(j.status.Load()) }
+
+// Progress returns the latest per-epoch stats and whether any epoch has
+// completed yet. For a deduplicated job the stats come from whichever
+// submission is actually training.
+func (j *Job) Progress() (core.EpochStats, bool) {
+	st, ok := j.stats.Load().(core.EpochStats)
+	return st, ok
+}
+
+// Done returns a channel closed when the job finishes (any terminal status).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation. The training loop stops at the next epoch
+// boundary with a partial, resumable Result. Canceling a job cancels the
+// underlying run for every submission deduplicated onto it.
+func (j *Job) Cancel() {
+	j.canceled.Store(true)
+	j.cancel()
+}
+
+// Wait blocks until the job finishes or ctx is done. On job completion it
+// returns Result's values. A job canceled while RUNNING returns its
+// partial result (non-nil, with Result.Stopped == core.StopCanceled and a
+// resumable checkpoint) and no error — matching core.TrainContext; a job
+// canceled while still QUEUED never trained, so it returns
+// (nil, context.Canceled).
+//
+// The returned Result is shared by every submission deduplicated onto
+// this job (and by the memo serving later identical submissions): treat
+// it as read-only. Scoring and evaluation only ever read the embedding.
+func (j *Job) Wait(ctx context.Context) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Result returns the job's outcome; it must only be called after Done is
+// closed (use Wait otherwise).
+func (j *Job) Result() (*core.Result, error) {
+	select {
+	case <-j.done:
+		return j.res, j.err
+	default:
+		panic("service: Result called before the job finished")
+	}
+}
+
+// Submit enqueues a training run and returns its Job. If an identical
+// submission — equal graph fingerprint, proximity name, and result-shaping
+// config (core.Config.Hash, which ignores Workers) — is already queued,
+// running, or completed, that existing Job is returned instead of starting
+// a duplicate; failed or canceled predecessors are replaced by a fresh run.
+func (s *Service) Submit(g *graph.Graph, prox proximity.Proximity, cfg core.Config) (*Job, error) {
+	key := experiments.ResultKey{
+		Graph:     g.Fingerprint(),
+		Proximity: prox.Name(),
+		Config:    cfg.Hash(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("service: submit after Close")
+	}
+	if j, ok := s.jobs[key]; ok {
+		st := j.Status()
+		// canceled.Load() covers the window between a Cancel call and the
+		// run goroutine observing it: a doomed job must not adopt new
+		// submitters.
+		if st != StatusFailed && st != StatusCanceled && !j.canceled.Load() {
+			return j, nil
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{key: key, cancel: cancel, done: make(chan struct{})}
+	s.jobs[key] = j
+	s.wg.Add(1)
+	go s.run(ctx, j, g, prox, cfg)
+	return j, nil
+}
+
+// Close stops accepting submissions and waits for every in-flight job to
+// finish. It does not cancel them; call Cancel on individual jobs first for
+// a fast shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// slotsFor returns how many worker slots a config consumes.
+func (s *Service) slotsFor(cfg core.Config) int {
+	n := cfg.Workers
+	if n < 1 {
+		n = 1
+	}
+	if n > s.opts.MaxWorkers {
+		n = s.opts.MaxWorkers
+	}
+	return n
+}
+
+// acquire claims n worker slots, or returns ctx.Err if the job is canceled
+// while queued — whether it is waiting at the head of the queue (for
+// slots) or further back (for the acquisition lock itself). A canceled
+// context always wins over an available grant: without the explicit
+// ctx.Err() checks, select would pick between a ready slot and a done
+// context at random, letting a canceled job start training.
+func (s *Service) acquire(ctx context.Context, n int) error {
+	select {
+	case <-s.acq:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { s.acq <- struct{}{} }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-s.slots:
+			// Claimed slot i+1. If the context died concurrently (select
+			// picks arbitrarily when both are ready), give everything
+			// back below rather than starting a canceled run.
+			if err := ctx.Err(); err != nil {
+				s.release(i + 1)
+				return err
+			}
+		case <-ctx.Done():
+			s.release(i)
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func (s *Service) release(n int) {
+	for i := 0; i < n; i++ {
+		s.slots <- struct{}{}
+	}
+}
+
+// run executes one job: wait for slots, train through the result memo, and
+// publish the outcome.
+func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximity.Proximity, cfg core.Config) {
+	defer s.wg.Done()
+	defer close(j.done)
+	n := s.slotsFor(cfg)
+	if err := s.acquire(ctx, n); err != nil {
+		// Canceled while queued: no training happened, so there is no
+		// partial result to hand back — unlike a running-job cancel.
+		j.err = err
+		j.status.Store(int32(StatusCanceled))
+		return
+	}
+	defer s.release(n)
+	// The job trains with exactly the worker count it holds slots for —
+	// this is what makes MaxWorkers a real bound on goroutines, not just
+	// an admission count. Safe: Workers is excluded from Config.Hash
+	// because it never changes a result bit.
+	cfg.Workers = n
+	j.status.Store(int32(StatusRunning))
+	// The job's ctx flows both into the training loop (epoch-granular
+	// stop) and into the memo's singleflight wait, so Cancel works even
+	// while this job is parked behind another service's identical run on
+	// a shared Memo.
+	res, err := s.opts.Memo.ResultFor(ctx, j.key, func() (*core.Result, error) {
+		return core.TrainContext(ctx, g, prox, cfg, core.Hooks{
+			Epoch: func(st core.EpochStats) { j.stats.Store(st) },
+		})
+	})
+	j.res, j.err = res, err
+	switch {
+	case err != nil:
+		// Includes a cancel while waiting on the singleflight: like a
+		// queued cancel, no training of ours happened, so the error is
+		// ctx.Err() and there is no partial result.
+		if ctx.Err() != nil {
+			j.status.Store(int32(StatusCanceled))
+		} else {
+			j.status.Store(int32(StatusFailed))
+		}
+	case res.Stopped == core.StopCanceled:
+		j.status.Store(int32(StatusCanceled))
+	default:
+		j.status.Store(int32(StatusDone))
+	}
+}

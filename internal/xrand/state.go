@@ -1,0 +1,48 @@
+package xrand
+
+// This file makes the package's two generator kinds snapshotable, which is
+// what lets core checkpoint a training run mid-stream and resume it
+// bit-identically (DESIGN.md §8). A snapshot captures everything a draw
+// depends on:
+//
+//   - RNGState freezes a sequential *RNG — the xoshiro state words plus the
+//     Box–Muller carry, whose omission would shift every Normal draw after
+//     an odd-parity resume point.
+//   - A Stream needs only its 64-bit base: draws are pure functions of
+//     (base, key, counter), so the base IS the state.
+//
+// All fields are exported so snapshots survive encoding/gob round trips.
+
+// RNGState is a serializable snapshot of an *RNG. The zero value is not a
+// valid state; obtain one from RNG.State.
+type RNGState struct {
+	// S holds the xoshiro256** state words.
+	S [4]uint64
+	// Gauss and HasGauss capture the cached second Box–Muller variate.
+	Gauss    float64
+	HasGauss bool
+}
+
+// State returns a snapshot of r. Restoring it replays the stream from
+// exactly this point: for any draw sequence D, r.Restore(s) followed by D
+// yields the same values whether or not other draws happened in between.
+func (r *RNG) State() RNGState {
+	return RNGState{S: r.s, Gauss: r.gauss, HasGauss: r.hasGauss}
+}
+
+// Restore rewinds r to a previously captured snapshot.
+func (r *RNG) Restore(st RNGState) {
+	r.s = st.S
+	r.gauss = st.Gauss
+	r.hasGauss = st.HasGauss
+}
+
+// State returns the stream's serializable state: the keyed SplitMix64 base.
+// Unlike RNGState there is no position to capture — a Stream is stateless
+// by construction, so its identity is one word.
+func (s Stream) State() uint64 { return s.base }
+
+// StreamFromState reconstructs the stream with the given State() value.
+// Note this is NOT NewStream: the argument is the already-mixed base, not a
+// seed.
+func StreamFromState(base uint64) Stream { return Stream{base: base} }

@@ -115,6 +115,13 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // pool. Only the randomness-free gradient computation is parallelized and
 // its reduction replays in batch order, so training remains bit-for-bit
 // deterministic in cfg.Seed regardless of worker count (DESIGN.md §6).
+//
+// Deprecated: Train blocks until the run finishes and offers no
+// cancellation, progress, or resume. Use the Session API instead —
+// NewSession(g, prox, WithConfig(cfg)).Run(ctx) is bit-identical to
+// Train(g, prox, cfg) and adds all three; a Service queues and
+// deduplicates many such jobs. Train is kept so pre-Session callers
+// compile unchanged.
 func Train(g *Graph, prox Proximity, cfg Config) (*Result, error) {
 	return core.Train(g, prox, cfg)
 }
@@ -123,6 +130,13 @@ func Train(g *Graph, prox Proximity, cfg Config) (*Result, error) {
 // Pearson correlation between adjacency-row distances and embedding
 // distances over all node pairs.
 func StrucEqu(g *Graph, emb *Matrix) float64 { return eval.StrucEqu(g, emb) }
+
+// StrucEquWorkers is StrucEqu with the O(|V|²) pair scan sharded across
+// `workers` goroutines; rows fill index-addressed slots, so the score is
+// bit-identical to the serial scan at every worker count.
+func StrucEquWorkers(g *Graph, emb *Matrix, workers int) float64 {
+	return eval.StrucEquWorkers(g, emb, workers)
+}
 
 // StrucEquSampled estimates StrucEqu from a uniform sample of node pairs,
 // for graphs too large for the exact O(|V|²) scan.
@@ -139,6 +153,14 @@ func SplitLinkPrediction(g *Graph, testFrac float64, rng *RNG) (*LinkSplit, erro
 // LinkAUC scores the split's test links with the scorer and returns the
 // area under the ROC curve.
 func LinkAUC(split *LinkSplit, score Scorer) float64 { return eval.LinkAUC(split, score) }
+
+// LinkAUCWorkers is LinkAUC with the scoring pass sharded across `workers`
+// goroutines (bit-identical at every count). The scorer is called
+// concurrently; every scorer in this package is a read-only function of an
+// immutable embedding, which qualifies.
+func LinkAUCWorkers(split *LinkSplit, score Scorer, workers int) float64 {
+	return eval.LinkAUCWorkers(split, score, workers)
+}
 
 // AUC returns the ROC AUC of positive vs negative scores (Mann–Whitney U
 // with ties counted half).

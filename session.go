@@ -1,0 +1,185 @@
+package seprivgemb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/service"
+)
+
+// This file is the job-oriented face of the library: Session wraps one
+// training run as a cancellable, observable, resumable job, and Service
+// queues many such runs behind a shared worker budget. Both are thin over
+// core.TrainContext and internal/service; the blocking Train remains as a
+// deprecated convenience (see its doc comment).
+
+// Re-exported session and service types.
+type (
+	// EpochStats is the per-epoch observation handed to an EpochHook:
+	// loss, privacy spend, and elapsed wall-clock time.
+	EpochStats = core.EpochStats
+	// EpochHook observes training progress; see TrainHooks' ordering
+	// guarantees in DESIGN.md §8.
+	EpochHook = core.EpochHook
+	// Checkpoint is a resumable snapshot of a run at an epoch boundary;
+	// resuming one is bit-identical to never having stopped.
+	Checkpoint = core.Checkpoint
+	// StopReason records why a run ended (completed, budget, canceled).
+	StopReason = core.StopReason
+	// Job is a queued training run inside a Service: cancellable,
+	// observable (Progress), awaitable (Wait).
+	Job = service.Job
+	// JobStatus is a Job's lifecycle state.
+	JobStatus = service.Status
+)
+
+// Stop reasons for Result.Stopped.
+const (
+	StopCompleted = core.StopCompleted
+	StopBudget    = core.StopBudget
+	StopCanceled  = core.StopCanceled
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = service.StatusQueued
+	JobRunning  = service.StatusRunning
+	JobDone     = service.StatusDone
+	JobFailed   = service.StatusFailed
+	JobCanceled = service.StatusCanceled
+)
+
+// DecodeCheckpoint reads a checkpoint previously written with
+// Checkpoint.Encode (e.g. from a file), for use with WithResume.
+var DecodeCheckpoint = core.DecodeCheckpoint
+
+// Session is one configured training run behind the job-oriented API:
+// construct with NewSession, then drive it with Run. A Session is
+// immutable after construction and may be Run multiple times — each Run
+// is an independent, identically seeded (hence identical) training run;
+// concurrent Runs are safe (the WithCache materialization is guarded by a
+// sync.Once).
+type Session struct {
+	g       *Graph
+	prox    Proximity
+	cfg     Config
+	hooks   core.Hooks
+	cache   bool
+	matOnce sync.Once
+}
+
+// Option configures a Session at construction.
+type Option func(*Session)
+
+// WithConfig replaces the session's entire Config (default: DefaultConfig).
+// Apply it before the narrower options — later options win.
+func WithConfig(cfg Config) Option {
+	return func(s *Session) { s.cfg = cfg }
+}
+
+// WithSeed sets the run's random seed.
+func WithSeed(seed uint64) Option {
+	return func(s *Session) { s.cfg.Seed = seed }
+}
+
+// WithWorkers sets the goroutine count of the run's parallel stages; the
+// result is bit-identical at every count (DESIGN.md §6).
+func WithWorkers(n int) Option {
+	return func(s *Session) { s.cfg.Workers = n }
+}
+
+// WithCache materializes the proximity matrix once, lazily at the first
+// Run, sharded across the session's workers — a large win for row-lazy
+// measures (Katz, PageRank) and for sessions that Run more than once.
+func WithCache() Option {
+	return func(s *Session) { s.cache = true }
+}
+
+// WithEpochHook registers a per-epoch observer: called synchronously on
+// the training goroutine, exactly once per completed epoch, in epoch
+// order, after the epoch's update and accountant step.
+func WithEpochHook(h EpochHook) Option {
+	return func(s *Session) { s.hooks.Epoch = h }
+}
+
+// WithCheckpointEvery snapshots the run after every n-th epoch (and at the
+// final boundary), handing each immutable snapshot to sink. Use n <= 0
+// with a non-nil sink to receive only the final snapshot.
+func WithCheckpointEvery(n int, sink func(*Checkpoint)) Option {
+	return func(s *Session) {
+		s.hooks.CheckpointEvery = n
+		s.hooks.Checkpoint = sink
+	}
+}
+
+// WithResume restores the run from a checkpoint instead of starting at
+// epoch 0. The session's graph and config must match the recorded run
+// (Workers and MaxEpochs may differ); the resumed run is bit-identical to
+// one that never stopped.
+func WithResume(ck *Checkpoint) Option {
+	return func(s *Session) { s.hooks.Resume = ck }
+}
+
+// NewSession builds a training session over g with the given structure
+// preference. Without options the session reproduces
+// Train(g, prox, DefaultConfig()) exactly.
+func NewSession(g *Graph, prox Proximity, opts ...Option) *Session {
+	s := &Session{g: g, prox: prox, cfg: core.DefaultConfig()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Config returns the session's resolved configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Run executes the training job (Algorithm 2, or its non-private
+// counterpart) under ctx.
+//
+// Cancellation is honored at epoch granularity: a canceled or expired
+// context ends the run with the best-so-far *Result — not an error — whose
+// Stopped field is StopCanceled, Epochs counts the completed epochs, and
+// Checkpoint resumes the run bit-identically (hand it to a new session via
+// WithResume). Errors are reserved for invalid graphs, configs, or
+// checkpoints. A nil ctx behaves as context.Background().
+func (s *Session) Run(ctx context.Context) (*Result, error) {
+	s.matOnce.Do(func() {
+		if s.cache {
+			s.prox = MaterializeProximity(s.prox, s.cfg.Workers)
+		}
+	})
+	return core.TrainContext(ctx, s.g, s.prox, s.cfg, s.hooks)
+}
+
+// Service queues concurrent training jobs behind one worker budget,
+// deduplicating identical (graph, proximity, config) submissions so a
+// popular request trains once no matter how many callers ask. Construct
+// with NewService; see Submit.
+type Service struct {
+	svc *service.Service
+}
+
+// NewService returns a job service bounded to maxWorkers total training
+// workers across all concurrently running jobs (<= 0 selects GOMAXPROCS).
+func NewService(maxWorkers int) *Service {
+	return &Service{svc: service.New(service.Options{MaxWorkers: maxWorkers})}
+}
+
+// Submit enqueues a training run and returns its Job handle. Submissions
+// whose graph fingerprint, proximity name, and result-shaping config match
+// a queued, running, or completed job share that job — and its ONE trained
+// Result, which must therefore be treated as read-only (copy the embedding
+// before transforming it in place) — instead of training again.
+func (s *Service) Submit(g *Graph, prox Proximity, cfg Config) (*Job, error) {
+	if g == nil || prox == nil {
+		return nil, fmt.Errorf("seprivgemb: Submit needs a graph and a proximity")
+	}
+	return s.svc.Submit(g, prox, cfg)
+}
+
+// Close stops accepting submissions and waits for in-flight jobs to
+// finish (cancel them individually first for a fast shutdown).
+func (s *Service) Close() { s.svc.Close() }
