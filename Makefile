@@ -1,12 +1,12 @@
 GO ?= go
 # Benchmark → JSON recording for the perf trajectory; bump per PR.
-BENCH_JSON ?= BENCH_pr3.json
+BENCH_JSON ?= BENCH_pr4.json
 # The sharded-stage benchmarks: the DP noise/update stage, the one-shot
-# graph passes, the whole-train scaling curve, and (PR 3) the sharded
-# evaluation metrics.
-BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|StrucEquWorkers|LinkAUCWorkers
+# graph passes, the whole-train scaling curve, the sharded evaluation
+# metrics (PR 3), and the sharded proximity stats/edge-weight scans (PR 4).
+BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|StrucEquWorkers|LinkAUCWorkers|ComputeStatsWorkers|EdgeWeightsWorkers
 
-.PHONY: build test vet race bench bench-json verify
+.PHONY: build test vet race bench bench-json serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -34,5 +34,10 @@ bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem ./... \
 		| tee /dev/stderr | sh scripts/bench_json.sh > $(BENCH_JSON)
 
+# Serving smoke test: start the HTTP job server on a random port, submit
+# a tiny inline job over real HTTP, poll it to done, and fetch the result.
+serve-smoke:
+	$(GO) run ./cmd/seprivd -selftest
+
 # Tier-1 verification in one command.
-verify: build vet test race
+verify: build vet test race serve-smoke

@@ -14,6 +14,11 @@
 // epoch boundary and still reports the partial embedding, its privacy
 // spend, and — with -checkpoint — a snapshot file from which a later
 // invocation resumes bit-identically (same flags, same file).
+//
+// `sepriv serve [flags]` runs the HTTP job service instead (the same
+// server as the seprivd binary): training requests arrive as declarative
+// JSON JobSpecs on POST /v1/jobs and are queued, deduplicated, and
+// optionally persisted across restarts. See internal/server.
 package main
 
 import (
@@ -27,9 +32,15 @@ import (
 	"syscall"
 
 	"seprivgemb"
+	"seprivgemb/internal/server"
 )
 
 func main() {
+	// Subcommand dispatch ahead of flag parsing: `sepriv serve` hands the
+	// remaining arguments to the shared server CLI.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		os.Exit(server.Main(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		graphPath   = flag.String("graph", "", "edge-list file to train on")
 		dataset     = flag.String("dataset", "", "simulated dataset name (alternative to -graph)")

@@ -1,0 +1,22 @@
+// Command seprivd serves SE-PrivGEmb training as an HTTP job service: the
+// declarative JobSpec contract of internal/spec over the queue, quota,
+// dedup, and artifact machinery of internal/service.
+//
+// Usage:
+//
+//	seprivd -addr :8470 -artifact-dir ./artifacts -tenant-inflight 4
+//	seprivd -selftest        # serve on a random port, run one job, exit
+//
+// The same server is reachable as `sepriv serve`. SIGINT/SIGTERM drains
+// gracefully: in-flight jobs stop at their next epoch boundary.
+package main
+
+import (
+	"os"
+
+	"seprivgemb/internal/server"
+)
+
+func main() {
+	os.Exit(server.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

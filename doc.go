@@ -29,6 +29,18 @@
 // identical submissions. The deprecated blocking Train remains as the
 // zero-option special case.
 //
+// The serving surface (DESIGN.md §9) speaks declarative, wire-codable
+// JobSpecs: a graph source (named dataset@scale+seed, inline edge list,
+// or server-side file), a proximity by name, and the full config as
+// plain data. Service.SubmitSpec resolves and enqueues one — under a
+// priority, a per-tenant in-flight quota (ErrQuotaExceeded), TTL+LRU
+// bounded result memoization (MemoLimits), and an optional on-disk
+// artifact store that survives process restarts — and the HTTP front-end
+// (cmd/seprivd, or `sepriv serve`) serves the same contract as JSON on
+// POST /v1/jobs. One spec, any transport, one training run: identical
+// specs deduplicate onto a single job with a stable ID and a shared
+// Result.
+//
 // Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs
 // subgraph generation, the per-epoch gradient stage AND the DP noise/update
 // stage on goroutine pools that preserve bit-identical results at every

@@ -16,7 +16,17 @@ import (
 // checkpointVersion identifies the serialized Checkpoint layout. Bump it
 // whenever a field is added, removed, or reinterpreted; DecodeCheckpoint
 // rejects mismatches rather than resuming from a misread state.
-const checkpointVersion = 1
+//
+// v2 (PR 4): the weight matrices moved out of the gob header into a
+// stream of fixed-size row blocks (see Encode), so encoding a million-node
+// checkpoint no longer buffers a third dense |V|×r copy inside gob.
+const checkpointVersion = 2
+
+// chunkFloats is the block size (float64 values) of the chunked matrix
+// stream: 8192 values = 64 KiB per gob message, small enough that the
+// encoder's transient buffer is O(1) in |V| and large enough that framing
+// overhead is negligible.
+const chunkFloats = 8192
 
 // Checkpoint is a resumable snapshot of a training run at an epoch
 // boundary. It captures everything the remaining epochs depend on — the
@@ -155,25 +165,130 @@ func (ck *Checkpoint) validateFor(g *graph.Graph, cfg Config) error {
 	return nil
 }
 
-// Encode writes ck to w in the stable binary checkpoint format
-// (encoding/gob, which round-trips float64 values exactly — a requirement
-// of the bit-identical resume contract).
+// checkpointHeader is the gob-encoded head of the wire format: every
+// Checkpoint field except the two weight matrices, which follow as chunked
+// row blocks.
+type checkpointHeader struct {
+	Version          int
+	ConfigHash       uint64
+	GraphFingerprint uint64
+	Nodes, Dim       int
+	Epoch            int
+	RNG              xrand.RNGState
+	Noise            uint64
+	HasAccountant    bool
+	Accountant       dp.AccountantState
+	LossHistory      []float64
+	EpsilonSpent     float64
+	DeltaSpent       float64
+}
+
+// EncodeFloat64Chunks writes data as consecutive gob messages of at most
+// chunkFloats values each. Gob buffers one full message before flushing,
+// so chunking bounds the encoder's transient memory at one block instead
+// of one dense |V|×r matrix — the difference between O(1) and O(|V|)
+// scratch on million-node checkpoints. Values round-trip exactly (gob
+// preserves float64 bits), as the bit-identical resume contract requires.
+// The artifact store reuses this framing for persisted results.
+func EncodeFloat64Chunks(enc *gob.Encoder, data []float64) error {
+	for off := 0; off < len(data); off += chunkFloats {
+		hi := off + chunkFloats
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if err := enc.Encode(data[off:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeFloat64Chunks reassembles exactly n values written by
+// EncodeFloat64Chunks, rejecting streams whose blocks overrun n.
+func DecodeFloat64Chunks(dec *gob.Decoder, n int) ([]float64, error) {
+	dst := make([]float64, n)
+	for off := 0; off < n; {
+		var blk []float64
+		if err := dec.Decode(&blk); err != nil {
+			return nil, err
+		}
+		if off+len(blk) > n {
+			return nil, fmt.Errorf("block overruns expected %d values", n)
+		}
+		copy(dst[off:], blk)
+		off += len(blk)
+	}
+	return dst, nil
+}
+
+// Encode writes ck to w in the stable binary checkpoint format: a gob
+// header with every scalar field, then Win and Wout streamed as row
+// blocks (EncodeFloat64Chunks). Streaming keeps encode memory flat in
+// |V| — the checkpoint's own two dense copies are the only ones alive.
 func (ck *Checkpoint) Encode(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(ck); err != nil {
-		return fmt.Errorf("core: encoding checkpoint: %w", err)
+	enc := gob.NewEncoder(w)
+	hdr := checkpointHeader{
+		Version:          ck.Version,
+		ConfigHash:       ck.ConfigHash,
+		GraphFingerprint: ck.GraphFingerprint,
+		Nodes:            ck.Nodes,
+		Dim:              ck.Dim,
+		Epoch:            ck.Epoch,
+		RNG:              ck.RNG,
+		Noise:            ck.Noise,
+		HasAccountant:    ck.HasAccountant,
+		Accountant:       ck.Accountant,
+		LossHistory:      ck.LossHistory,
+		EpsilonSpent:     ck.EpsilonSpent,
+		DeltaSpent:       ck.DeltaSpent,
+	}
+	if err := enc.Encode(&hdr); err != nil {
+		return fmt.Errorf("core: encoding checkpoint header: %w", err)
+	}
+	if err := EncodeFloat64Chunks(enc, ck.Win); err != nil {
+		return fmt.Errorf("core: encoding checkpoint Win: %w", err)
+	}
+	if err := EncodeFloat64Chunks(enc, ck.Wout); err != nil {
+		return fmt.Errorf("core: encoding checkpoint Wout: %w", err)
 	}
 	return nil
 }
 
 // DecodeCheckpoint reads a checkpoint previously written by Encode.
 func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
-	ck := &Checkpoint{}
-	if err := gob.NewDecoder(r).Decode(ck); err != nil {
+	dec := gob.NewDecoder(r)
+	var hdr checkpointHeader
+	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
 	}
-	if ck.Version != checkpointVersion {
+	if hdr.Version != checkpointVersion {
 		return nil, fmt.Errorf("core: checkpoint format v%d, this build reads v%d",
-			ck.Version, checkpointVersion)
+			hdr.Version, checkpointVersion)
+	}
+	if hdr.Nodes < 0 || hdr.Dim < 0 || (hdr.Dim > 0 && hdr.Nodes > int(^uint(0)>>1)/hdr.Dim) {
+		return nil, fmt.Errorf("core: checkpoint claims impossible shape %dx%d", hdr.Nodes, hdr.Dim)
+	}
+	ck := &Checkpoint{
+		Version:          hdr.Version,
+		ConfigHash:       hdr.ConfigHash,
+		GraphFingerprint: hdr.GraphFingerprint,
+		Nodes:            hdr.Nodes,
+		Dim:              hdr.Dim,
+		Epoch:            hdr.Epoch,
+		RNG:              hdr.RNG,
+		Noise:            hdr.Noise,
+		HasAccountant:    hdr.HasAccountant,
+		Accountant:       hdr.Accountant,
+		LossHistory:      hdr.LossHistory,
+		EpsilonSpent:     hdr.EpsilonSpent,
+		DeltaSpent:       hdr.DeltaSpent,
+	}
+	var err error
+	if ck.Win, err = DecodeFloat64Chunks(dec, hdr.Nodes*hdr.Dim); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint Win: %w", err)
+	}
+	if ck.Wout, err = DecodeFloat64Chunks(dec, hdr.Nodes*hdr.Dim); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint Wout: %w", err)
 	}
 	return ck, nil
 }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"seprivgemb/internal/dp"
+	"seprivgemb/internal/xrand"
+)
+
+// chunkCheckpoint builds a synthetic checkpoint whose matrices span the
+// given number of values — sized by callers to cross chunk boundaries.
+func chunkCheckpoint(nodes, dim int) *Checkpoint {
+	total := nodes * dim
+	win := make([]float64, total)
+	wout := make([]float64, total)
+	rng := xrand.New(99)
+	for i := range win {
+		win[i] = rng.Float64() - 0.5
+		wout[i] = rng.Normal()
+	}
+	return &Checkpoint{
+		Version:          checkpointVersion,
+		ConfigHash:       0xfeedface,
+		GraphFingerprint: 0xdeadbeef,
+		Nodes:            nodes,
+		Dim:              dim,
+		Epoch:            17,
+		Win:              win,
+		Wout:             wout,
+		RNG:              xrand.RNGState{S: [4]uint64{1, 2, 3, 4}, Gauss: 0.25, HasGauss: true},
+		Noise:            42,
+		HasAccountant:    true,
+		Accountant:       dp.AccountantState{Orders: []int{2, 3}, Eps: []float64{0.1, 0.2}, Steps: 17},
+		LossHistory:      []float64{3, 2.5, 2.25},
+		EpsilonSpent:     1.5,
+		DeltaSpent:       1e-6,
+	}
+}
+
+// TestCheckpointChunkedRoundTrip pins the v2 wire format: matrices larger
+// than one chunk (chunkFloats values) stream as multiple blocks and must
+// reassemble bit-exactly, including an uneven final block.
+func TestCheckpointChunkedRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ nodes, dim int }{
+		{3, 5},                     // far below one chunk
+		{1, chunkFloats},           // exactly one chunk
+		{130, 64},                  // 8320 values: one full block + remainder
+		{2*chunkFloats/64 + 1, 64}, // crosses two block boundaries
+	} {
+		ck := chunkCheckpoint(tc.nodes, tc.dim)
+		var buf bytes.Buffer
+		if err := ck.Encode(&buf); err != nil {
+			t.Fatalf("%dx%d: encode: %v", tc.nodes, tc.dim, err)
+		}
+		got, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("%dx%d: decode: %v", tc.nodes, tc.dim, err)
+		}
+		if !reflect.DeepEqual(ck, got) {
+			t.Errorf("%dx%d: chunked round trip changed the checkpoint", tc.nodes, tc.dim)
+		}
+	}
+}
+
+func TestCheckpointDecodeRejectsBadStreams(t *testing.T) {
+	ck := chunkCheckpoint(4, 4)
+
+	// Wrong version.
+	bad := *ck
+	bad.Version = checkpointVersion + 1
+	var buf bytes.Buffer
+	if err := bad.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(&buf); err == nil {
+		t.Error("future-version checkpoint accepted")
+	}
+
+	// Truncated matrix stream.
+	buf.Reset()
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := DecodeCheckpoint(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+
+	// A block that overruns the declared shape.
+	var over bytes.Buffer
+	enc := gob.NewEncoder(&over)
+	hdr := checkpointHeader{Version: checkpointVersion, Nodes: 2, Dim: 2}
+	if err := enc.Encode(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(make([]float64, 100)); err != nil { // claims 4, sends 100
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(&over); err == nil {
+		t.Error("overlong block accepted")
+	}
+
+	// An impossible shape must be rejected before allocation.
+	var neg bytes.Buffer
+	if err := gob.NewEncoder(&neg).Encode(&checkpointHeader{Version: checkpointVersion, Nodes: -1, Dim: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(&neg); err == nil {
+		t.Error("negative shape accepted")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"seprivgemb/internal/dp"
@@ -86,6 +87,38 @@ type Hooks struct {
 	Resume *Checkpoint
 }
 
+// fillWeights evaluates the structure preference on every subgraph's
+// positive pair, sharded into contiguous spans across `workers`
+// goroutines. Each span owns a disjoint index range of the output
+// (determinism pattern 1: no randomness, index-addressed writes), and
+// every measure in internal/proximity supports concurrent At calls (they
+// only read the immutable graph), so the result is bit-identical to the
+// serial pass at any worker count.
+func fillWeights(prox proximity.Proximity, subs []Subgraph, workers int) []float64 {
+	weights := make([]float64, len(subs))
+	fill := func(lo, hi int) {
+		for si := lo; si < hi; si++ {
+			s := subs[si]
+			weights[si] = prox.At(int(s.I), int(s.J))
+		}
+	}
+	if workers <= 1 || len(subs) < 2 {
+		fill(0, len(subs))
+		return weights
+	}
+	spans := splitSpans(len(subs), workers)
+	var wg sync.WaitGroup
+	wg.Add(len(spans))
+	for _, sp := range spans {
+		go func(sp span) {
+			defer wg.Done()
+			fill(sp.lo, sp.hi)
+		}(sp)
+	}
+	wg.Wait()
+	return weights
+}
+
 // TrainContext is the context-aware form of Train (Algorithm 2): identical
 // numerics, plus cancellation, per-epoch observation, and checkpoint/resume.
 //
@@ -126,18 +159,20 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 	}
 	// Line 1: compute the node proximity, evaluated on each subgraph's
 	// oriented positive pair (p_ij is direction-sensitive for random-walk
-	// measures). Weights are rescaled to mean 1 over the observed edges:
+	// measures) and sharded across cfg.Workers — for row-lazy measures
+	// (Katz, PageRank) this At-per-edge pass dominates setup time on large
+	// graphs. Weights are rescaled to mean 1 over the observed edges:
 	// raw magnitudes differ by orders of magnitude across measures (e.g.
 	// row-stochastic DeepWalk entries are O(1/d)), and a constant rescale
 	// of P only shifts the Theorem 3 optimum log(p_ij/(k·min(P))) by a
 	// constant while keeping the gradient scale — and hence the
 	// signal-to-noise ratio of the private updates — comparable across
-	// structure preferences.
-	weights := make([]float64, len(subs))
+	// structure preferences. The sum runs serially in index order after
+	// the fill, so the rescale factor is bit-identical at any worker count.
+	weights := fillWeights(prox, subs, cfg.Workers)
 	var wsum float64
-	for si, s := range subs {
-		weights[si] = prox.At(int(s.I), int(s.J))
-		wsum += weights[si]
+	for _, w := range weights {
+		wsum += w
 	}
 	if wsum > 0 {
 		mathx.Scale(float64(len(weights))/wsum, weights)

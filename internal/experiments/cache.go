@@ -3,8 +3,11 @@ package experiments
 import (
 	"context"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"seprivgemb/internal/core"
+	"seprivgemb/internal/datasets"
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/proximity"
 )
@@ -30,11 +33,29 @@ import (
 // training splits) fall back to the direct lazy measure, where one-shot
 // At-by-edge evaluation is cheaper than materializing every row.
 type Memo struct {
+	lim Limits
+	now func() time.Time // injectable clock for TTL tests
+
 	mu      sync.Mutex
 	graphs  map[graphKey]*graphEntry
 	prox    map[proxKey]*proxEntry
 	known   map[*graph.Graph]bool
 	results map[ResultKey]*resultEntry
+}
+
+// Limits bounds the result side of a Memo for serving use, where the
+// process is long-lived and the request stream unbounded — without them
+// every distinct (graph, proximity, config) ever submitted pins a dense
+// |V|×r embedding forever. Graph and proximity entries stay unbounded:
+// sweeps hold live references to them, and their population is bounded by
+// the sweep grid, not by traffic.
+type Limits struct {
+	// MaxResults caps memoized training results; beyond it the
+	// least-recently-used completed entry is evicted. 0 means unbounded.
+	MaxResults int
+	// ResultTTL expires completed results this long after their last use;
+	// an expired entry is recomputed on next request. 0 means no expiry.
+	ResultTTL time.Duration
 }
 
 // ResultKey identifies a training run up to bit-identical output: the exact
@@ -74,16 +95,33 @@ type proxEntry struct {
 // resultEntry is a cancellation-aware singleflight slot: sem (capacity 1)
 // is the entry's lock, acquired with a select so a waiter can abandon the
 // flight when its context dies instead of blocking behind a long training
-// run. done/res are only touched while holding sem.
+// run. done/res are only touched while holding sem; completed mirrors done
+// for the eviction scan, which runs under the Memo mutex WITHOUT sem (an
+// in-flight entry must never be evicted, or its waiters would split from
+// the winner).
 type resultEntry struct {
 	sem  chan struct{}
 	done bool
 	res  *core.Result
+
+	completed atomic.Bool
+	// lastUse orders entries for LRU eviction and TTL expiry; guarded by
+	// the Memo mutex.
+	lastUse time.Time
 }
 
-// NewMemo returns an empty sweep cache.
+// NewMemo returns an unbounded sweep cache (the right shape for a sweep,
+// whose key population is the finite experiment grid).
 func NewMemo() *Memo {
+	return NewMemoLimited(Limits{})
+}
+
+// NewMemoLimited returns a sweep cache whose memoized training results are
+// bounded by lim — the serving configuration.
+func NewMemoLimited(lim Limits) *Memo {
 	return &Memo{
+		lim:     lim,
+		now:     time.Now,
 		graphs:  make(map[graphKey]*graphEntry),
 		prox:    make(map[proxKey]*proxEntry),
 		known:   make(map[*graph.Graph]bool),
@@ -103,9 +141,12 @@ func NewMemo() *Memo {
 // but leave the entry open, so the next identical submission computes
 // afresh rather than being served a partial embedding.
 //
-// Results are retained for the life of the Memo — the serving layer's
-// repeat-submission cache. Callers managing many large graphs should scope
-// a Memo per tenancy unit rather than letting one grow without bound.
+// Results are retained subject to the Memo's Limits: an unbounded Memo
+// (NewMemo) keeps them for its lifetime — the sweep configuration — while
+// NewMemoLimited expires completed results ResultTTL after their last use
+// and evicts the least-recently-used beyond MaxResults. Eviction only ever
+// touches completed entries: an in-flight run and its waiters are never
+// split apart.
 //
 // Every caller for a key receives the SAME *core.Result (that is the
 // point: one training, many consumers), so the result — including its
@@ -117,11 +158,21 @@ func (m *Memo) ResultFor(ctx context.Context, key ResultKey, run func() (*core.R
 		ctx = context.Background()
 	}
 	m.mu.Lock()
+	now := m.now()
 	e, ok := m.results[key]
+	// An expired hit is a miss: drop the entry and recompute. Waiters
+	// already attached to it still receive its result — expiry moves the
+	// key, not the in-hand pointers.
+	if ok && m.expiredLocked(e, now) {
+		delete(m.results, key)
+		ok = false
+	}
 	if !ok {
 		e = &resultEntry{sem: make(chan struct{}, 1)}
 		m.results[key] = e
 	}
+	e.lastUse = now
+	m.evictLocked(e, now)
 	m.mu.Unlock()
 	select {
 	case e.sem <- struct{}{}:
@@ -135,8 +186,99 @@ func (m *Memo) ResultFor(ctx context.Context, key ResultKey, run func() (*core.R
 	res, err := run()
 	if err == nil && res != nil && res.Stopped != core.StopCanceled {
 		e.res, e.done = res, true
+		e.completed.Store(true)
+		// Re-stamp recency at completion: training may itself outlast the
+		// TTL, and expiry is meant to age results after their last USE —
+		// a result that just finished computing has just been used. Without
+		// this, any job slower than the TTL would expire at its first
+		// repeat submission and retrain forever.
+		m.mu.Lock()
+		e.lastUse = m.now()
+		m.mu.Unlock()
+		return res, err
 	}
+	// Failed or canceled runs leave no memo entry behind: the next
+	// identical submission computes afresh, and a flood of distinct
+	// failing keys cannot grow the map.
+	m.mu.Lock()
+	if cur, ok := m.results[key]; ok && cur == e {
+		delete(m.results, key)
+	}
+	m.mu.Unlock()
 	return res, err
+}
+
+// expiredLocked reports whether e is a completed entry past its TTL.
+func (m *Memo) expiredLocked(e *resultEntry, now time.Time) bool {
+	return m.lim.ResultTTL > 0 && e.completed.Load() && now.Sub(e.lastUse) > m.lim.ResultTTL
+}
+
+// evictLocked enforces the Memo's Limits, sparing keep (the entry being
+// requested right now). Only completed entries are candidates — in-flight
+// singleflights stay in the map so concurrent requesters keep converging
+// on one run, which also means MaxResults bounds retained results, not
+// concurrent training.
+func (m *Memo) evictLocked(keep *resultEntry, now time.Time) {
+	if m.lim.ResultTTL > 0 {
+		for k, e := range m.results {
+			if e != keep && m.expiredLocked(e, now) {
+				delete(m.results, k)
+			}
+		}
+	}
+	if m.lim.MaxResults <= 0 {
+		return
+	}
+	for len(m.results) > m.lim.MaxResults {
+		var oldestKey ResultKey
+		var oldest *resultEntry
+		for k, e := range m.results {
+			if e == keep || !e.completed.Load() {
+				continue
+			}
+			if oldest == nil || e.lastUse.Before(oldest.lastUse) {
+				oldestKey, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			return // nothing evictable: every excess entry is in flight
+		}
+		delete(m.results, oldestKey)
+	}
+}
+
+// Dataset returns the simulated benchmark dataset at (name, scale, seed),
+// generated once per Memo and shared thereafter — the serving layer's
+// resolution path for dataset-sourced JobSpecs. Scale <= 0 is canonicalized
+// to the dataset default BEFORE keying, so "default scale" and its explicit
+// value are one cache entry.
+func (m *Memo) Dataset(name string, scale float64, seed uint64) (*graph.Graph, error) {
+	sp, err := datasets.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale <= 0 {
+		scale = sp.DefaultScale
+	}
+	return m.graphFor(name, scale, seed, func() (*graph.Graph, error) {
+		return datasets.Generate(name, scale, seed)
+	})
+}
+
+// Proximity resolves measure over g through the Memo: Memo-managed graphs
+// get a materialized, cached matrix (built across `workers` goroutines);
+// foreign graphs get the direct lazy measure.
+func (m *Memo) Proximity(g *graph.Graph, measure string, workers int) (proximity.Proximity, error) {
+	return m.proximityFor(g, measure, workers)
+}
+
+// GraphCacheLen reports how many simulated graphs the Memo retains —
+// observability for the serving layer's "rejected requests must not grow
+// the cache" invariant (and its test).
+func (m *Memo) GraphCacheLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.graphs)
 }
 
 // graphFor returns the cached simulation for the key, generating it on

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"io"
 	"sync"
 	"testing"
+	"time"
 
+	"seprivgemb/internal/core"
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/proximity"
 	"seprivgemb/internal/xrand"
@@ -122,5 +126,191 @@ func TestMemoConcurrent(t *testing.T) {
 	wg.Wait()
 	if len(seen) != 1 {
 		t.Errorf("%d distinct graphs for one key, want 1", len(seen))
+	}
+}
+
+// fakeClock drives a Memo's TTL logic deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// resultForCounting requests key and returns the result plus how many times
+// the run function has executed in total.
+func resultForCounting(t *testing.T, m *Memo, key ResultKey, runs *int) *core.Result {
+	t.Helper()
+	res, err := m.ResultFor(context.Background(), key, func() (*core.Result, error) {
+		*runs++
+		return &core.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMemoResultTTLExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewMemoLimited(Limits{ResultTTL: time.Minute})
+	m.now = clk.now
+	key := ResultKey{Graph: 1, Proximity: "deepwalk", Config: 2}
+
+	runs := 0
+	first := resultForCounting(t, m, key, &runs)
+	clk.advance(30 * time.Second)
+	if again := resultForCounting(t, m, key, &runs); again != first || runs != 1 {
+		t.Fatalf("fresh entry not served from cache: runs=%d", runs)
+	}
+	// The 30s hit refreshed lastUse; only now does a >TTL gap expire it.
+	clk.advance(61 * time.Second)
+	if again := resultForCounting(t, m, key, &runs); again == first || runs != 2 {
+		t.Fatalf("expired entry was served from cache: runs=%d", runs)
+	}
+}
+
+func TestMemoResultLRUEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewMemoLimited(Limits{MaxResults: 2})
+	m.now = clk.now
+	keyA := ResultKey{Graph: 1}
+	keyB := ResultKey{Graph: 2}
+	keyC := ResultKey{Graph: 3}
+
+	var runsA, runsB, runsC int
+	resA := resultForCounting(t, m, keyA, &runsA)
+	clk.advance(time.Second)
+	resultForCounting(t, m, keyB, &runsB)
+	clk.advance(time.Second)
+	resultForCounting(t, m, keyA, &runsA) // bump A: B is now least recent
+	clk.advance(time.Second)
+	resultForCounting(t, m, keyC, &runsC) // exceeds MaxResults → evicts B
+
+	if again := resultForCounting(t, m, keyA, &runsA); again != resA || runsA != 1 {
+		t.Errorf("recently used entry was evicted: runsA=%d", runsA)
+	}
+	resultForCounting(t, m, keyB, &runsB)
+	if runsB != 2 {
+		t.Errorf("least-recently-used entry survived the cap: runsB=%d", runsB)
+	}
+}
+
+func TestMemoInFlightNeverEvicted(t *testing.T) {
+	m := NewMemoLimited(Limits{MaxResults: 1})
+	keyX := ResultKey{Graph: 10}
+	keyY := ResultKey{Graph: 11}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	got := make(chan *core.Result, 1)
+	go func() {
+		res, _ := m.ResultFor(context.Background(), keyX, func() (*core.Result, error) {
+			close(started)
+			<-release
+			return &core.Result{}, nil
+		})
+		got <- res
+	}()
+	<-started
+	// A completed entry lands while X is still training; the cap of 1 must
+	// evict the completed Y, never the in-flight X.
+	var runsY int
+	resultForCounting(t, m, keyY, &runsY)
+	close(release)
+	first := <-got
+	var runsX int
+	if again := resultForCounting(t, m, keyX, &runsX); again != first || runsX != 0 {
+		t.Errorf("in-flight entry was evicted mid-run: runsX=%d", runsX)
+	}
+}
+
+func TestMemoFailedRunsLeaveNoEntry(t *testing.T) {
+	m := NewMemo()
+	key := ResultKey{Graph: 7}
+	wantErr := errors.New("boom")
+	if _, err := m.ResultFor(context.Background(), key, func() (*core.Result, error) {
+		return nil, wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	m.mu.Lock()
+	n := len(m.results)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Errorf("failed run left %d map entries, want 0", n)
+	}
+	// Canceled partials likewise: returned to the caller, never retained.
+	if _, err := m.ResultFor(context.Background(), key, func() (*core.Result, error) {
+		return &core.Result{Stopped: core.StopCanceled}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	n = len(m.results)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Errorf("canceled partial left %d map entries, want 0", n)
+	}
+}
+
+func TestMemoDatasetCanonicalScale(t *testing.T) {
+	m := NewMemo()
+	// scale <= 0 selects the dataset default; both spellings must share one
+	// simulation.
+	a, err := m.Dataset("power", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Dataset("power", 1, 3) // power's DefaultScale is 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("default scale and its explicit value produced distinct cache entries")
+	}
+	if _, err := m.Dataset("no-such-dataset", 1, 3); err == nil {
+		t.Error("unknown dataset did not error")
+	}
+	// Memo-managed graphs materialize through Proximity.
+	p, err := m.Proximity(a, "deepwalk", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*proximity.Sparse); !ok {
+		t.Errorf("Proximity returned %T, want materialized *proximity.Sparse", p)
+	}
+}
+
+// TestMemoResultSurvivesSlowTraining: a run that itself outlasts the TTL
+// must still be served from cache afterwards — expiry ages results after
+// their last USE, and completing IS a use.
+func TestMemoResultSurvivesSlowTraining(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewMemoLimited(Limits{ResultTTL: time.Minute})
+	m.now = clk.now
+	key := ResultKey{Graph: 9}
+
+	runs := 0
+	first, err := m.ResultFor(context.Background(), key, func() (*core.Result, error) {
+		runs++
+		clk.advance(5 * time.Minute) // training takes 5×TTL
+		return &core.Result{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := resultForCounting(t, m, key, &runs); again != first || runs != 1 {
+		t.Fatalf("slow-trained result expired at first repeat: runs=%d", runs)
 	}
 }

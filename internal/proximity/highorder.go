@@ -203,14 +203,20 @@ func (d *DeepWalk) Row(i int) []Entry {
 
 // At implements Proximity in O(d_i + d_j) by merging the two adjacency
 // lists for the common-neighbor sum.
+//
+// The addends accumulate in exactly Row's order — ascending w over N(i),
+// with the adjacency ½ landing at w == j's position, not hoisted to the
+// front. Floating-point addition is not associative, so any other order
+// drifts from the materialized row by ULPs, and the serving layer's
+// dedup contract ("one measure name, one numeric function") requires
+// At(i, j) == Materialize(p).At(i, j) bit for bit.
 func (d *DeepWalk) At(i, j int) float64 {
 	if i == j {
 		return 0
 	}
+	adjacent := d.g.HasEdge(i, j)
+	adjacencyAdded := false
 	var p float64
-	if d.g.HasEdge(i, j) {
-		p = 0.5
-	}
 	ni, nj := d.g.Neighbors(i), d.g.Neighbors(j)
 	x, y := 0, 0
 	for x < len(ni) && y < len(nj) {
@@ -220,12 +226,21 @@ func (d *DeepWalk) At(i, j int) float64 {
 		case ni[x] > nj[y]:
 			y++
 		default:
+			// Common neighbor w = ni[x]; Row would have credited the
+			// adjacency term while scanning w == j, before any larger w.
+			if adjacent && !adjacencyAdded && int(ni[x]) > j {
+				p += 0.5
+				adjacencyAdded = true
+			}
 			if dw := d.deg[ni[x]]; dw > 0 {
 				p += 0.5 / float64(dw)
 			}
 			x++
 			y++
 		}
+	}
+	if adjacent && !adjacencyAdded {
+		p += 0.5
 	}
 	return p
 }

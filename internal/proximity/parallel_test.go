@@ -41,3 +41,103 @@ func TestMaterializeParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestComputeStatsWorkersMatchesSerial pins the sharded row-scan fallback:
+// MinPositive and every RowSums entry must equal the serial scan bit for
+// bit at any worker count. DeepWalk and Katz take the scan path; the
+// degree-product measure exercises the analytic shortcut (which must be
+// identical regardless of workers, since it never scans).
+func TestComputeStatsWorkersMatchesSerial(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 3, xrand.New(8))
+	measures := []Proximity{
+		NewDeepWalk(g),
+		NewKatz(g, 0.05, 4),
+		NewPreferentialAttachment(g),
+	}
+	for _, p := range measures {
+		serial := ComputeStats(p)
+		for _, workers := range []int{2, 4, 7, 300} {
+			par := ComputeStatsWorkers(p, workers)
+			if par.MinPositive != serial.MinPositive {
+				t.Fatalf("%s workers=%d: MinPositive %v vs serial %v",
+					p.Name(), workers, par.MinPositive, serial.MinPositive)
+			}
+			if len(par.RowSums) != len(serial.RowSums) {
+				t.Fatalf("%s workers=%d: %d row sums vs %d",
+					p.Name(), workers, len(par.RowSums), len(serial.RowSums))
+			}
+			for i := range serial.RowSums {
+				if par.RowSums[i] != serial.RowSums[i] {
+					t.Fatalf("%s workers=%d: RowSums[%d] = %v vs serial %v",
+						p.Name(), workers, i, par.RowSums[i], serial.RowSums[i])
+				}
+			}
+		}
+	}
+}
+
+// TestComputeStatsWorkersEmptyProximity pins the no-positive-entries edge
+// case through the parallel path: MinPositive folds per-worker infinities
+// down to 0, exactly like the serial scan.
+func TestComputeStatsWorkersEmptyProximity(t *testing.T) {
+	empty := NewSparse("empty", make([][]Entry, 50))
+	for _, workers := range []int{1, 4} {
+		st := ComputeStatsWorkers(empty, workers)
+		if st.MinPositive != 0 {
+			t.Errorf("workers=%d: MinPositive = %v, want 0", workers, st.MinPositive)
+		}
+	}
+}
+
+// TestEdgeWeightsWorkersMatchesSerial pins the sharded per-edge At pass.
+func TestEdgeWeightsWorkersMatchesSerial(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 3, xrand.New(9))
+	measures := []Proximity{
+		NewDeepWalk(g),
+		NewKatz(g, 0.05, 4),
+		NewPageRank(g, 0.85, 1e-4),
+	}
+	for _, p := range measures {
+		serial := EdgeWeights(p, g)
+		for _, workers := range []int{2, 4, 7, 10000} { // 10000 > |E| exercises the clamp
+			par := EdgeWeightsWorkers(p, g, workers)
+			if len(par) != len(serial) {
+				t.Fatalf("%s workers=%d: %d weights vs %d", p.Name(), workers, len(par), len(serial))
+			}
+			for i := range serial {
+				if par[i] != serial[i] {
+					t.Fatalf("%s workers=%d: weight[%d] = %v vs serial %v",
+						p.Name(), workers, i, par[i], serial[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAtMatchesMaterializedEverywhere pins the contract the serving
+// layer's dedup rests on: a measure NAME identifies one numeric function,
+// so the lazy At and the materialized row must agree bit for bit on every
+// pair (floating-point addend order included — see DeepWalk.At). Without
+// this, a spec-resolved (materialized) submission and an in-memory (lazy)
+// one would deduplicate onto one job yet train ULP-different embeddings
+// depending on which arrived first.
+func TestAtMatchesMaterializedEverywhere(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, xrand.New(5))
+	for _, name := range []string{
+		"deepwalk", "degree", "common-neighbors", "preferential-attachment",
+		"adamic-adar", "resource-allocation", "katz", "pagerank",
+	} {
+		p, err := ByName(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat := Materialize(p)
+		for i := 0; i < g.NumNodes(); i++ {
+			for j := 0; j < g.NumNodes(); j++ {
+				if a, b := p.At(i, j), mat.At(i, j); a != b {
+					t.Fatalf("%s: At(%d,%d) = %v lazy vs %v materialized", name, i, j, a, b)
+				}
+			}
+		}
+	}
+}

@@ -56,16 +56,65 @@ type analyticStats interface {
 // ComputeStats returns the Stats of p, using the measure's analytic
 // shortcut when available and a full row scan otherwise.
 func ComputeStats(p Proximity) Stats {
+	return ComputeStatsWorkers(p, 1)
+}
+
+// ComputeStatsWorkers is ComputeStats with the row-scan fallback sharded
+// across `workers` goroutines. Each worker owns disjoint row blocks off a
+// dynamic cursor: RowSums[i] is written only by row i's owner
+// (index-addressed), and each worker tracks a private running minimum;
+// the final MinPositive folds the per-worker minima in worker order.
+// Every quantity is an exact comparison or a per-row sum whose addend
+// order the schedule cannot change, so the result is bit-identical to the
+// serial scan at any worker count. Measures with an analytic shortcut
+// never scan at all.
+func ComputeStatsWorkers(p Proximity, workers int) Stats {
 	if a, ok := p.(analyticStats); ok {
 		return a.Stats()
 	}
 	n := p.NumNodes()
 	st := Stats{MinPositive: math.Inf(1), RowSums: make([]float64, n)}
-	for i := 0; i < n; i++ {
-		for _, e := range p.Row(i) {
-			st.RowSums[i] += e.P
-			if e.P > 0 && e.P < st.MinPositive {
-				st.MinPositive = e.P
+	scan := func(lo, hi int, min *float64) {
+		for i := lo; i < hi; i++ {
+			for _, e := range p.Row(i) {
+				st.RowSums[i] += e.P
+				if e.P > 0 && e.P < *min {
+					*min = e.P
+				}
+			}
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		scan(0, n, &st.MinPositive)
+	} else {
+		mins := make([]float64, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				mins[w] = math.Inf(1)
+				for {
+					lo := int(next.Add(statBlock)) - statBlock
+					if lo >= n {
+						return
+					}
+					hi := lo + statBlock
+					if hi > n {
+						hi = n
+					}
+					scan(lo, hi, &mins[w])
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, m := range mins {
+			if m < st.MinPositive {
+				st.MinPositive = m
 			}
 		}
 	}
@@ -75,14 +124,61 @@ func ComputeStats(p Proximity) Stats {
 	return st
 }
 
+// statBlock is the dynamic work-grant size of the sharded scans; like
+// MaterializeParallel's blocks it keeps skewed hub rows from idling the
+// pool near the end.
+const statBlock = 32
+
 // EdgeWeights evaluates p on every edge of g, in edge-list order. These are
 // the p_ij factors of the Eq. (5) objective. Zero-weight edges are kept
 // (their loss contribution is zero, exactly as the objective dictates).
 func EdgeWeights(p Proximity, g *graph.Graph) []float64 {
-	w := make([]float64, g.NumEdges())
-	for idx, e := range g.Edges() {
-		w[idx] = p.At(int(e.U), int(e.V))
+	return EdgeWeightsWorkers(p, g, 1)
+}
+
+// EdgeWeightsWorkers is EdgeWeights with the per-edge At evaluation
+// sharded across `workers` goroutines. Each weight fills its own
+// edge-index slot and At is a pure read of the immutable graph (true for
+// every measure in this package, and required of custom measures handed
+// here), so the slice is bit-identical to the serial pass at any count.
+// The win is large for row-lazy measures (Katz, PageRank), whose At
+// rebuilds a whole row per call.
+func EdgeWeightsWorkers(p Proximity, g *graph.Graph, workers int) []float64 {
+	edges := g.Edges()
+	w := make([]float64, len(edges))
+	fill := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			e := edges[idx]
+			w[idx] = p.At(int(e.U), int(e.V))
+		}
 	}
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+	if workers <= 1 {
+		fill(0, len(edges))
+		return w
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(statBlock)) - statBlock
+				if lo >= len(edges) {
+					return
+				}
+				hi := lo + statBlock
+				if hi > len(edges) {
+					hi = len(edges)
+				}
+				fill(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
 	return w
 }
 

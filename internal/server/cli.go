@@ -1,0 +1,180 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seprivgemb/internal/experiments"
+	"seprivgemb/internal/service"
+)
+
+// Main is the entry point shared by `seprivd` and `sepriv serve`: parse
+// flags, stand up a Service + HTTP front-end, and run until SIGINT/SIGTERM,
+// then drain gracefully (stop accepting, cancel in-flight jobs at their
+// next epoch boundary, wait for them to settle). Returns the process exit
+// code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("seprivd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8470", "listen address (host:port; port 0 picks a free port)")
+		maxWorkers  = fs.Int("max-workers", 0, "total training-worker slots across all jobs (0 = GOMAXPROCS)")
+		graphDir    = fs.String("graph-dir", "", "root directory for JobSpec file graph sources (empty disables them)")
+		artifactDir = fs.String("artifact-dir", "", "persist completed results here and serve repeats across restarts")
+		tenantJobs  = fs.Int("tenant-inflight", 0, "max unfinished jobs per tenant; excess submissions get 429 (0 = unlimited)")
+		memoMax     = fs.Int("memo-max-results", 1024, "max memoized results before LRU eviction (0 = unbounded)")
+		memoTTL     = fs.Duration("memo-ttl", time.Hour, "expire memoized results this long after last use (0 = never)")
+		selftest    = fs.Bool("selftest", false, "serve on a random port, drive one tiny job through the HTTP API, and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts := service.Options{
+		MaxWorkers:     *maxWorkers,
+		MemoLimits:     experiments.Limits{MaxResults: *memoMax, ResultTTL: *memoTTL},
+		TenantInflight: *tenantJobs,
+		GraphDir:       *graphDir,
+		ArtifactDir:    *artifactDir,
+	}
+	if *selftest {
+		*addr = "127.0.0.1:0"
+	}
+
+	svc := service.New(opts)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "seprivd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "seprivd: listening on http://%s\n", ln.Addr())
+	httpSrv := &http.Server{Handler: New(svc).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	code := 0
+	if *selftest {
+		if err := Selftest(fmt.Sprintf("http://%s", ln.Addr()), stdout); err != nil {
+			fmt.Fprintf(stderr, "seprivd: selftest: %v\n", err)
+			code = 1
+		} else {
+			fmt.Fprintln(stdout, "seprivd: selftest OK")
+		}
+		stop()
+	} else {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout, "seprivd: shutting down")
+		case err := <-serveErr:
+			fmt.Fprintf(stderr, "seprivd: serve: %v\n", err)
+			svc.CancelAll()
+			svc.Close()
+			return 1
+		}
+	}
+
+	// Graceful drain: stop accepting, then cancel in-flight jobs — each
+	// stops at its next epoch boundary with a resumable partial — and wait
+	// for the queue to settle.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	svc.CancelAll()
+	svc.Close()
+	return code
+}
+
+// Selftest drives the serving loop end to end over real HTTP: submit a
+// tiny inline job, poll status to done, fetch the result, and check the
+// embedding hash is present. It is the `make serve-smoke` payload.
+func Selftest(baseURL string, out io.Writer) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	var health map[string]string
+	if err := getJSON(client, baseURL+"/v1/healthz", http.StatusOK, &health); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	const body = `{
+		"graph": {"inline": {"nodes": 12, "edges": [
+			[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,0],
+			[0,6],[1,7],[2,8],[3,9]
+		]}},
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 4, "seed": 42}
+	}`
+	resp, err := client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := decodeAs(resp, http.StatusAccepted, &job); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Fprintf(out, "selftest: submitted job %s\n", job.ID)
+
+	deadline := time.Now().Add(60 * time.Second)
+	for job.Status != "done" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s stuck in %q", job.ID, job.Status)
+		}
+		if job.Status == "failed" || job.Status == "canceled" {
+			return fmt.Errorf("job %s ended %q", job.ID, job.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if err := getJSON(client, baseURL+"/v1/jobs/"+job.ID, http.StatusOK, &job); err != nil {
+			return fmt.Errorf("poll: %w", err)
+		}
+	}
+
+	var result struct {
+		Epochs        int    `json:"epochs"`
+		Stopped       string `json:"stopped"`
+		EmbeddingHash string `json:"embeddingHash"`
+	}
+	if err := getJSON(client, baseURL+"/v1/jobs/"+job.ID+"/result", http.StatusOK, &result); err != nil {
+		return fmt.Errorf("result: %w", err)
+	}
+	if result.EmbeddingHash == "" || result.Epochs != 4 {
+		return fmt.Errorf("result incomplete: %+v", result)
+	}
+	fmt.Fprintf(out, "selftest: job %s done in %d epochs, embedding hash %s\n",
+		job.ID, result.Epochs, result.EmbeddingHash)
+	return nil
+}
+
+func getJSON(client *http.Client, url string, wantCode int, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	return decodeAs(resp, wantCode, v)
+}
+
+func decodeAs(resp *http.Response, wantCode int, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantCode {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return json.Unmarshal(body, v)
+}

@@ -1,0 +1,250 @@
+// Package server is the HTTP face of the job service: a thin JSON
+// front-end that speaks the declarative JobSpec contract of internal/spec
+// and delegates every decision — admission, priority, quotas, dedup,
+// caching, persistence — to internal/service. Because both this package
+// and the Go API submit through Service.SubmitSpec/Submit onto one job
+// table, a spec POSTed here and the identical spec submitted in-process
+// train once and share one Result.
+//
+// Routes (all JSON):
+//
+//	GET    /v1/healthz          liveness
+//	POST   /v1/jobs             submit a JobSpec → 202 {id, status, ...}
+//	GET    /v1/jobs/{id}        job status + live progress
+//	GET    /v1/jobs/{id}/result the trained embedding (409 until done;
+//	                            ?embedding=true inlines the matrix rows)
+//	DELETE /v1/jobs/{id}        cancel → 202
+//
+// Error mapping: malformed or unresolvable specs → 400, unknown job IDs →
+// 404, result-before-done → 409, tenant over quota → 429, queued-cancel
+// (never trained) results → 410, submit after shutdown → 503.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/service"
+	"seprivgemb/internal/spec"
+)
+
+// Server serves one job Service over HTTP. Construct with New.
+type Server struct {
+	svc *service.Service
+}
+
+// New returns an HTTP front-end over svc. The server does not own the
+// service: the caller closes it (after http.Server.Shutdown, so no
+// handler is mid-flight).
+func New(svc *service.Service) *Server {
+	return &Server{svc: svc}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	return mux
+}
+
+// jobResponse is the wire form of a job's observable state.
+type jobResponse struct {
+	ID       string        `json:"id"`
+	Status   string        `json:"status"`
+	Priority int           `json:"priority,omitempty"`
+	Tenant   string        `json:"tenant,omitempty"`
+	Progress *progressInfo `json:"progress,omitempty"`
+}
+
+// progressInfo mirrors core.EpochStats for the latest completed epoch.
+type progressInfo struct {
+	Epoch      int     `json:"epoch"`
+	Loss       float64 `json:"loss"`
+	EpsSpent   float64 `json:"epsSpent"`
+	DeltaSpent float64 `json:"deltaSpent"`
+	ElapsedMs  int64   `json:"elapsedMs"`
+}
+
+// resultResponse is the wire form of a finished job's outcome.
+type resultResponse struct {
+	ID            string      `json:"id"`
+	Status        string      `json:"status"`
+	Stopped       string      `json:"stopped"`
+	Epochs        int         `json:"epochs"`
+	Nodes         int         `json:"nodes"`
+	Dim           int         `json:"dim"`
+	EpsilonSpent  float64     `json:"epsilonSpent"`
+	DeltaSpent    float64     `json:"deltaSpent"`
+	EmbeddingHash string      `json:"embeddingHash"`
+	Embedding     [][]float64 `json:"embedding,omitempty"`
+}
+
+// errorResponse carries every non-2xx body.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status string `json:"status,omitempty"`
+}
+
+// EmbeddingHash digests an embedding matrix: FNV-1a over the row-major
+// float64 bits (mathx.FNV64, the repo's one identity-hash primitive),
+// hex-encoded. Bit-identical embeddings — the determinism contract's
+// currency — hash identically on every transport, which is how clients
+// (and the cross-transport tests) check they were served the same
+// training run.
+func EmbeddingHash(m *mathx.Matrix) string {
+	h := mathx.NewFNV64()
+	for _, x := range m.Data {
+		h.Word(math.Float64bits(x))
+	}
+	return fmt.Sprintf("%016x", h.Sum())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func jobView(j *service.Job) jobResponse {
+	resp := jobResponse{
+		ID:       j.ID(),
+		Status:   j.Status().String(),
+		Priority: j.Priority(),
+		Tenant:   j.Tenant(),
+	}
+	if st, ok := j.Progress(); ok {
+		resp.Progress = &progressInfo{
+			Epoch:      st.Epoch,
+			Loss:       st.Loss,
+			EpsSpent:   st.EpsSpent,
+			DeltaSpent: st.DeltaSpent,
+			ElapsedMs:  st.Elapsed.Milliseconds(),
+		}
+	}
+	return resp
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	sp, err := spec.Decode(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, err := s.svc.SubmitSpec(*sp)
+	switch {
+	case err == nil:
+	case errors.Is(err, service.ErrQuotaExceeded):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, service.ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	case errors.Is(err, service.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView(j))
+}
+
+// maxSpecBytes bounds a submission body. Inline edge lists are the only
+// large field; 64 MiB admits ~2M edges, matching the largest simulated
+// dataset, while keeping a hostile body from exhausting memory.
+const maxSpecBytes = 64 << 20
+
+// lookup resolves the {id} path segment.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.svc.JobByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, jobView(j))
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Done():
+	default:
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:  "job has not finished; poll GET /v1/jobs/{id}",
+			Status: j.Status().String(),
+		})
+		return
+	}
+	res, err := j.Result()
+	if err != nil {
+		// A queued-cancel never trained: there is no result to serve, and
+		// there never will be under this ID unless resubmitted.
+		if errors.Is(err, context.Canceled) {
+			writeJSON(w, http.StatusGone, errorResponse{
+				Error:  "job was canceled before training started",
+				Status: j.Status().String(),
+			})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	emb := res.Embedding()
+	resp := resultResponse{
+		ID:            j.ID(),
+		Status:        j.Status().String(),
+		Stopped:       res.Stopped.String(),
+		Epochs:        res.Epochs,
+		Nodes:         emb.Rows,
+		Dim:           emb.Cols,
+		EpsilonSpent:  res.EpsilonSpent,
+		DeltaSpent:    res.DeltaSpent,
+		EmbeddingHash: EmbeddingHash(emb),
+	}
+	if q := r.URL.Query().Get("embedding"); q == "true" || q == "1" {
+		rows := make([][]float64, emb.Rows)
+		for i := range rows {
+			rows[i] = emb.Row(i)
+		}
+		resp.Embedding = rows
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusAccepted, jobView(j))
+}

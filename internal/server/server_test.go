@@ -1,0 +1,424 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seprivgemb"
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/service"
+	"seprivgemb/internal/spec"
+)
+
+// newTestServer stands up a Service + HTTP front-end; both are torn down
+// with the test.
+func newTestServer(t *testing.T, opts service.Options) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(opts)
+	ts := httptest.NewServer(New(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.CancelAll()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+// tinySpecJSON is a fast inline job (12-node wheel, 4 epochs).
+func tinySpecJSON(seed int) string {
+	return fmt.Sprintf(`{
+		"graph": {"inline": {"nodes": 12, "edges": [
+			[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,0],
+			[0,6],[1,7],[2,8],[3,9]
+		]}},
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 4, "seed": %d}
+	}`, seed)
+}
+
+// longSpecJSON is a non-private run long enough to still be in flight when
+// a test pokes at it (canceled in cleanup if needed).
+func longSpecJSON(seed int, tenant string) string {
+	return fmt.Sprintf(`{
+		"graph": {"inline": {"nodes": 12, "edges": [
+			[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,0],
+			[0,6],[1,7],[2,8],[3,9]
+		]}},
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 2000000, "private": false, "seed": %d},
+		"tenant": %q
+	}`, seed, tenant)
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, body string) (*http.Response, jobResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr jobResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, jr
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) (int, jobResponse) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr jobResponse
+	_ = json.NewDecoder(resp.Body).Decode(&jr)
+	return resp.StatusCode, jr
+}
+
+func pollDone(t *testing.T, ts *httptest.Server, id string) jobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, jr := getStatus(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("status poll: HTTP %d", code)
+		}
+		switch jr.Status {
+		case "done":
+			return jr
+		case "failed", "canceled":
+			t.Fatalf("job %s ended %q", id, jr.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestSubmitRejections is the bad-spec 400 table.
+func TestSubmitRejections(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{`, http.StatusBadRequest},
+		{"unknown field", `{"graph":{"inline":{"nodes":4,"edges":[[0,1],[1,2]]}},"proximity":"degree","config":{"seed":1,"epslion":2}}`, http.StatusBadRequest},
+		{"no graph source", `{"proximity":"degree","config":{"seed":1}}`, http.StatusBadRequest},
+		{"unknown dataset", `{"graph":{"dataset":{"name":"no-such","seed":1}},"proximity":"degree","config":{"seed":1}}`, http.StatusBadRequest},
+		{"unknown proximity", `{"graph":{"inline":{"nodes":4,"edges":[[0,1],[1,2]]}},"proximity":"no-such","config":{"seed":1}}`, http.StatusBadRequest},
+		{"self-loop edge", `{"graph":{"inline":{"nodes":4,"edges":[[1,1]]}},"proximity":"degree","config":{"seed":1}}`, http.StatusBadRequest},
+		{"escaping file path", `{"graph":{"file":{"path":"../x"}},"proximity":"degree","config":{"seed":1}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := postSpec(t, ts, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: HTTP %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestSubmitStatusResultLifecycle drives one job through the happy path.
+func TestSubmitStatusResultLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	resp, jr := postSpec(t, ts, tinySpecJSON(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if jr.ID == "" {
+		t.Fatal("submit response carries no job ID")
+	}
+	final := pollDone(t, ts, jr.ID)
+	if final.Progress == nil || final.Progress.Epoch != 3 {
+		t.Fatalf("final progress %+v, want epoch 3", final.Progress)
+	}
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + jr.ID + "/result?embedding=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %d", res.StatusCode)
+	}
+	var rr resultResponse
+	if err := json.NewDecoder(res.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Epochs != 4 || rr.Stopped != "completed" || rr.EmbeddingHash == "" {
+		t.Fatalf("result response %+v", rr)
+	}
+	if len(rr.Embedding) != rr.Nodes || len(rr.Embedding[0]) != rr.Dim {
+		t.Fatalf("inlined embedding is %dx%d, want %dx%d",
+			len(rr.Embedding), len(rr.Embedding[0]), rr.Nodes, rr.Dim)
+	}
+
+	// Idempotent re-submission of the identical spec: same ID, served from
+	// the memo.
+	resp2, jr2 := postSpec(t, ts, tinySpecJSON(1))
+	if resp2.StatusCode != http.StatusAccepted || jr2.ID != jr.ID {
+		t.Fatalf("re-submission: HTTP %d id %s, want 202 id %s", resp2.StatusCode, jr2.ID, jr.ID)
+	}
+}
+
+func TestUnknownJobIs404(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	for _, path := range []string{"/v1/jobs/jdeadbeef", "/v1/jobs/jdeadbeef/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: HTTP %d, want 404", path, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/jdeadbeef", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestResultBeforeDoneAndCancel: result of an in-flight job is 409; DELETE
+// cancels it; the canceled partial then serves with stopped=canceled.
+func TestResultBeforeDoneAndCancel(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	resp, jr := postSpec(t, ts, longSpecJSON(5, ""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	// Wait until it trains so the cancel yields a partial result.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, st := getStatus(t, ts, jr.ID)
+		if st.Progress != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reported progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	res, err := http.Get(ts.URL + "/v1/jobs/" + jr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusConflict {
+		t.Fatalf("result while running: HTTP %d, want 409", res.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+jr.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d, want 202", dresp.StatusCode)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		_, st := getStatus(t, ts, jr.ID)
+		if st.Status == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q after cancel", st.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A mid-training cancel leaves a partial, resumable result.
+	res2, err := http.Get(ts.URL + "/v1/jobs/" + jr.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Body.Close()
+	if res2.StatusCode != http.StatusOK {
+		t.Fatalf("canceled result: HTTP %d, want 200", res2.StatusCode)
+	}
+	var rr resultResponse
+	if err := json.NewDecoder(res2.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Stopped != "canceled" || rr.Epochs == 0 {
+		t.Fatalf("canceled result %+v", rr)
+	}
+}
+
+// TestTenantQuota429: with a one-job quota, a tenant's second distinct
+// spec is rejected with 429 while the first still runs; a DELETE frees it.
+func TestTenantQuota429(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1, TenantInflight: 1})
+	resp, jr := postSpec(t, ts, longSpecJSON(6, "acme"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first job: HTTP %d", resp.StatusCode)
+	}
+	resp2, _ := postSpec(t, ts, longSpecJSON(7, "acme"))
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second acme job: HTTP %d, want 429", resp2.StatusCode)
+	}
+	// A different tenant is admitted (it queues behind the running job).
+	resp3, jr3 := postSpec(t, ts, longSpecJSON(8, "globex"))
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("globex job: HTTP %d, want 202", resp3.StatusCode)
+	}
+	for _, id := range []string{jr.ID, jr3.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+	}
+}
+
+// TestCrossTransportDedup is the PR's acceptance criterion: one JobSpec
+// submitted concurrently over HTTP and through Service.SubmitSpec trains
+// exactly once — both callers land on the same job — and the embedding
+// hash equals a Session.Run of the equivalent in-memory arguments.
+func TestCrossTransportDedup(t *testing.T) {
+	ts, svc := newTestServer(t, service.Options{MaxWorkers: 2})
+
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8},
+		{8, 9}, {9, 10}, {10, 11}, {11, 0}, {0, 6}, {1, 7}, {2, 8}, {3, 9},
+	}
+	sp := spec.JobSpec{
+		Graph:     spec.GraphSource{Inline: &spec.InlineSource{Nodes: 12, Edges: edges}},
+		Proximity: "degree",
+		Config:    spec.ConfigSpec{Dim: 8, BatchSize: 8, MaxEpochs: 4, Seed: 42},
+	}
+	body, err := json.Marshal(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Race the two transports.
+	var (
+		wg     sync.WaitGroup
+		goJob  *service.Job
+		goErr  error
+		htCode int
+		htJR   jobResponse
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		goJob, goErr = svc.SubmitSpec(sp)
+	}()
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		htCode = resp.StatusCode
+		_ = json.NewDecoder(resp.Body).Decode(&htJR)
+	}()
+	wg.Wait()
+	if goErr != nil {
+		t.Fatal(goErr)
+	}
+	if htCode != http.StatusAccepted {
+		t.Fatalf("HTTP submit: %d", htCode)
+	}
+
+	// Both transports resolved to ONE job — the "trains exactly once"
+	// witness: the service holds a single Job under a single ID, backed by
+	// the memo's singleflight.
+	if htJR.ID != goJob.ID() {
+		t.Fatalf("transport IDs diverge: HTTP %s vs Go %s", htJR.ID, goJob.ID())
+	}
+	if byID, ok := svc.JobByID(htJR.ID); !ok || byID != goJob {
+		t.Fatal("HTTP and Go submissions are not the same job")
+	}
+
+	goRes, err := goJob.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goHash := EmbeddingHash(goRes.Embedding())
+
+	pollDone(t, ts, htJR.ID)
+	res, err := http.Get(ts.URL + "/v1/jobs/" + htJR.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var rr resultResponse
+	if err := json.NewDecoder(res.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.EmbeddingHash != goHash {
+		t.Fatalf("HTTP hash %s != Go hash %s", rr.EmbeddingHash, goHash)
+	}
+
+	// And the served embedding is exactly what the Session API computes
+	// from the equivalent in-memory arguments.
+	b := graph.NewBuilder(12)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	prox, err := seprivgemb.NewProximity("degree", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Dim = 8
+	cfg.BatchSize = 8
+	cfg.MaxEpochs = 4
+	cfg.Seed = 42
+	sessRes, err := seprivgemb.NewSession(g, prox, seprivgemb.WithConfig(cfg)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sessHash := EmbeddingHash(sessRes.Embedding()); sessHash != rr.EmbeddingHash {
+		t.Fatalf("served hash %s != Session.Run hash %s", rr.EmbeddingHash, sessHash)
+	}
+}
+
+// TestSelftest runs the smoke payload in-process.
+func TestSelftest(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	var buf strings.Builder
+	if err := Selftest(ts.URL, &buf); err != nil {
+		t.Fatalf("selftest: %v\n%s", err, buf.String())
+	}
+}

@@ -1,21 +1,35 @@
-// Package service is the first serving-shaped layer over the trainer: a
-// job queue that runs SE-PrivGEmb training requests concurrently while
+// Package service is the serving layer over the trainer: a job queue that
+// runs SE-PrivGEmb training requests concurrently while
 // (a) bounding the total worker goroutines across all running jobs,
-// (b) deduplicating identical submissions — same graph fingerprint,
+// (b) admitting queued jobs in priority order (higher JobSpec.Priority
+// first, FIFO within a priority),
+// (c) enforcing per-tenant in-flight quotas (ErrQuotaExceeded, which the
+// HTTP front-end maps to 429),
+// (d) deduplicating identical submissions — same graph fingerprint,
 // structure preference, and result-shaping config — through the sweep
 // cache's result memo (experiments.Memo.ResultFor), so a popular
-// (graph, proximity, config) trains once no matter how many callers ask,
-// and (c) exposing each job's live progress, cancellation, and final
-// result through a Job handle.
+// (graph, proximity, config) trains once no matter how many callers ask
+// or which transport (HTTP or Go) they arrive by, and
+// (e) optionally persisting completed results to an on-disk artifact
+// store, so a restarted process serves them without retraining.
+//
+// Submissions arrive either as live Go objects (Submit) or as declarative,
+// wire-codable specs (SubmitSpec, the currency of the HTTP front-end in
+// internal/server); both resolve onto the same job table, so dedup holds
+// across transports.
 //
 // Determinism carries through unchanged: a job's output depends only on
-// its (graph, proximity, config), never on queue order, concurrency, or
-// which submission of a deduplicated group actually trained.
+// its (graph, proximity, config), never on queue order, priority,
+// concurrency, or which submission of a deduplicated group actually
+// trained.
 package service
 
 import (
+	"container/heap"
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,7 +38,22 @@ import (
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/spec"
 )
+
+// ErrQuotaExceeded reports a submission rejected because its tenant is at
+// its in-flight job limit. Test with errors.Is; the HTTP layer maps it to
+// 429 Too Many Requests.
+var ErrQuotaExceeded = errors.New("service: tenant in-flight quota exceeded")
+
+// ErrInvalidSpec reports a JobSpec that failed validation or resolution
+// (unknown dataset or measure, malformed edge list, missing file, bad
+// hyperparameters). The HTTP layer maps it to 400 Bad Request.
+var ErrInvalidSpec = errors.New("service: invalid job spec")
+
+// ErrClosed reports a submission after Close. The HTTP layer maps it to
+// 503 Service Unavailable.
+var ErrClosed = errors.New("service: submit after Close")
 
 // Options configures a Service.
 type Options struct {
@@ -36,8 +65,29 @@ type Options struct {
 	MaxWorkers int
 	// Memo supplies the result/artifact cache. Sharing one Memo between a
 	// Service and an experiments sweep shares their caches; nil gets the
-	// service a private Memo.
+	// service a private Memo bounded by MemoLimits.
 	Memo *experiments.Memo
+	// MemoLimits bounds the private Memo created when Memo is nil (TTL +
+	// max-entry LRU eviction of memoized results). Ignored when Memo is
+	// supplied — the owner of a shared Memo sets its own limits.
+	MemoLimits experiments.Limits
+	// TenantInflight caps how many unfinished jobs one tenant may have
+	// created at a time; further SubmitSpec calls fail with
+	// ErrQuotaExceeded until one finishes. 0 disables quotas. A below-cap
+	// tenant adopting an existing deduplicated job is not charged (no new
+	// work is admitted) — but a tenant AT its cap is refused outright,
+	// even for a spec that would have deduplicated: the quota check runs
+	// before resolution so a rejected request cannot cost the server
+	// anything, and dedup cannot be established without resolving. Poll
+	// by job ID rather than resubmitting.
+	TenantInflight int
+	// GraphDir is the root directory for JobSpec file graph sources.
+	// Empty rejects file sources outright.
+	GraphDir string
+	// ArtifactDir, when non-empty, persists every completed training
+	// result as a gob artifact (chunked checkpoint framing) and serves
+	// identical future submissions from disk across process restarts.
+	ArtifactDir string
 }
 
 // Status is a Job's lifecycle state.
@@ -78,43 +128,165 @@ func (s Status) String() string {
 // the zero value is not usable.
 type Service struct {
 	opts  Options
-	slots chan struct{} // MaxWorkers tokens
-	// acq serializes multi-slot acquisition (two half-acquired wide jobs
-	// can never deadlock, and grants are roughly FIFO). It is a
-	// channel-based lock rather than a sync.Mutex so that a queued job
-	// blocked BEHIND another queued job can still honor cancellation.
-	acq chan struct{}
+	store *Store
 
-	mu     sync.Mutex
-	jobs   map[experiments.ResultKey]*Job
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	free    int        // unclaimed worker slots (of opts.MaxWorkers)
+	pending waiterHeap // jobs waiting for slots, priority-ordered
+	seq     uint64     // arrival order, tie-breaks equal priorities
+	jobs    map[experiments.ResultKey]*Job
+	byID    map[string]*Job
+	tenants map[string]int // unfinished jobs per tenant
+	closed  bool
+	wg      sync.WaitGroup
 }
 
-// New returns a Service ready to accept submissions.
+// New returns a Service ready to accept submissions. It panics only on
+// unusable ArtifactDir (fail fast at construction, not mid-job); every
+// runtime failure is reported per job.
 func New(opts Options) *Service {
 	if opts.MaxWorkers < 1 {
 		opts.MaxWorkers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Memo == nil {
-		opts.Memo = experiments.NewMemo()
+		opts.Memo = experiments.NewMemoLimited(opts.MemoLimits)
 	}
 	s := &Service{
-		opts:  opts,
-		slots: make(chan struct{}, opts.MaxWorkers),
-		acq:   make(chan struct{}, 1),
-		jobs:  make(map[experiments.ResultKey]*Job),
+		opts:    opts,
+		free:    opts.MaxWorkers,
+		jobs:    make(map[experiments.ResultKey]*Job),
+		byID:    make(map[string]*Job),
+		tenants: make(map[string]int),
 	}
-	for i := 0; i < opts.MaxWorkers; i++ {
-		s.slots <- struct{}{}
+	if opts.ArtifactDir != "" {
+		store, err := NewStore(opts.ArtifactDir)
+		if err != nil {
+			panic(fmt.Sprintf("service: artifact store: %v", err))
+		}
+		s.store = store
 	}
-	s.acq <- struct{}{}
 	return s
+}
+
+// waiter is one queued job's claim on worker slots. priority, granted and
+// index are guarded by the Service mutex; ready is closed exactly once,
+// under that mutex, when the claim is granted.
+type waiter struct {
+	j        *Job
+	n        int
+	priority int
+	seq      uint64
+	index    int
+	granted  bool
+	ready    chan struct{}
+}
+
+// waiterHeap orders pending claims: higher priority first, FIFO within a
+// priority. It implements container/heap.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	w := old[len(old)-1]
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return w
+}
+
+// dispatchLocked grants slots strictly in heap order: the head claim waits
+// until its full width fits, and nothing behind it may jump the queue (a
+// lower-priority narrow job must not starve a higher-priority wide one).
+// Claims are clamped to MaxWorkers at submission, so the head always
+// eventually fits. Callers hold s.mu.
+func (s *Service) dispatchLocked() {
+	for len(s.pending) > 0 && s.pending[0].n <= s.free {
+		w := heap.Pop(&s.pending).(*waiter)
+		w.granted = true
+		if w.j != nil {
+			w.j.waiter = nil
+		}
+		s.free -= w.n
+		close(w.ready)
+	}
+}
+
+// acquire claims n worker slots at j's (possibly boosted — see submit's
+// adoption path) priority, or returns ctx.Err if the job is canceled
+// while queued. A cancellation that races an in-flight grant returns the
+// slots and still reports the cancel — a canceled job must never start
+// training.
+func (s *Service) acquire(ctx context.Context, j *Job, n int) error {
+	w := &waiter{j: j, n: n, ready: make(chan struct{})}
+	s.mu.Lock()
+	w.priority = int(j.priority.Load())
+	s.seq++
+	w.seq = s.seq
+	if j != nil {
+		j.waiter = w
+	}
+	heap.Push(&s.pending, w)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	select {
+	case <-w.ready:
+		if err := ctx.Err(); err != nil {
+			s.release(n)
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if w.granted {
+			// The grant won the race; undo it.
+			s.free += w.n
+			s.dispatchLocked()
+		} else {
+			heap.Remove(&s.pending, w.index)
+			if w.j != nil {
+				w.j.waiter = nil
+			}
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns n slots and re-runs admission.
+func (s *Service) release(n int) {
+	s.mu.Lock()
+	s.free += n
+	s.dispatchLocked()
+	s.mu.Unlock()
 }
 
 // Job is the handle to one submitted training run.
 type Job struct {
+	id     string
 	key    experiments.ResultKey
+	tenant string
+	// priority is atomic because an adoption can boost it (see submit)
+	// while the HTTP layer reads it for display.
+	priority atomic.Int32
+	// waiter is the job's queued slot claim, nil unless waiting; guarded
+	// by the Service mutex (adoption boosts re-heap through it).
+	waiter *waiter
 	cancel context.CancelFunc
 	done   chan struct{}
 
@@ -130,8 +302,22 @@ type Job struct {
 	err error
 }
 
+// ID returns the job's stable identifier: a pure function of its
+// deduplication key, so the same logical job carries the same ID over
+// every transport, process, and resubmission.
+func (j *Job) ID() string { return j.id }
+
 // Key returns the job's deduplication key.
 func (j *Job) Key() experiments.ResultKey { return j.key }
+
+// Tenant returns the tenant recorded at submission ("" for the Go API).
+func (j *Job) Tenant() string { return j.tenant }
+
+// Priority returns the job's effective admission priority: the highest
+// priority any deduplicated submitter asked for (adoption boosts, never
+// lowers, so a high-priority caller is not stuck behind the original
+// submitter's patience).
+func (j *Job) Priority() int { return int(j.priority.Load()) }
 
 // Status returns the job's current lifecycle state.
 func (j *Job) Status() Status { return Status(j.status.Load()) }
@@ -188,12 +374,77 @@ func (j *Job) Result() (*core.Result, error) {
 	}
 }
 
-// Submit enqueues a training run and returns its Job. If an identical
-// submission — equal graph fingerprint, proximity name, and result-shaping
-// config (core.Config.Hash, which ignores Workers) — is already queued,
-// running, or completed, that existing Job is returned instead of starting
-// a duplicate; failed or canceled predecessors are replaced by a fresh run.
+// JobID returns the stable job identifier for a deduplication key (the ID
+// a submission with that key would receive).
+func JobID(key experiments.ResultKey) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%016x|%s|%016x", key.Graph, key.Proximity, key.Config)
+	return fmt.Sprintf("j%016x", h.Sum64())
+}
+
+// JobByID returns the job currently registered under id. After a failed or
+// canceled job is resubmitted, the ID resolves to its replacement (the
+// superseded handle keeps working for callers that hold it).
+func (s *Service) JobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// Submit enqueues a training run at default priority with no tenant and
+// returns its Job — the in-process Go API. If an identical submission —
+// equal graph fingerprint, proximity name, and result-shaping config
+// (core.Config.Hash, which ignores Workers) — is already queued, running,
+// or completed, that existing Job is returned instead of starting a
+// duplicate; failed or canceled predecessors are replaced by a fresh run.
 func (s *Service) Submit(g *graph.Graph, prox proximity.Proximity, cfg core.Config) (*Job, error) {
+	return s.submit(g, prox, cfg, 0, "", false)
+}
+
+// SubmitSpec resolves a declarative JobSpec — graph source, proximity by
+// name, wire config — and enqueues it with the spec's priority and tenant.
+// The single submission currency of the serving surface: the HTTP
+// front-end and Go callers both land here, so identical specs deduplicate
+// across transports onto one training run. Resolution reuses the memo for
+// simulated datasets; proximity materialization is deferred into the
+// admitted run (see run), so submission stays cheap.
+func (s *Service) SubmitSpec(sp spec.JobSpec) (*Job, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	// Admission pre-checks BEFORE resolution: a rejected request must not
+	// cost the server anything durable — resolving first would let a
+	// tenant at its quota (or a caller racing Close) grow the memo's
+	// graph cache with every 429/503 it is about to receive. The
+	// authoritative re-check happens in submit under the same mutex; this
+	// one can spuriously admit during a race, never spuriously charge.
+	// The trade-off: a tenant at its cap is refused even a deduplicating
+	// resubmission, because telling dedup from new work requires the
+	// resolved graph — admission control wins over adoption convenience.
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return nil, ErrClosed
+	case s.opts.TenantInflight > 0 && s.tenants[sp.Tenant] >= s.opts.TenantInflight:
+		n := s.tenants[sp.Tenant]
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q already has %d unfinished jobs",
+			ErrQuotaExceeded, sp.Tenant, n)
+	}
+	s.mu.Unlock()
+	g, prox, cfg, err := s.resolve(sp)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	return s.submit(g, prox, cfg, sp.Priority, sp.Tenant, true)
+}
+
+// submit is the shared admission path of both transports. materialize
+// asks the run to swap the (cheap, lazy) proximity for the memo's
+// materialized matrix once it holds worker slots.
+func (s *Service) submit(g *graph.Graph, prox proximity.Proximity, cfg core.Config, priority int, tenant string, materialize bool) (*Job, error) {
 	key := experiments.ResultKey{
 		Graph:     g.Fingerprint(),
 		Proximity: prox.Name(),
@@ -202,22 +453,45 @@ func (s *Service) Submit(g *graph.Graph, prox proximity.Proximity, cfg core.Conf
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("service: submit after Close")
+		return nil, ErrClosed
 	}
 	if j, ok := s.jobs[key]; ok {
 		st := j.Status()
 		// canceled.Load() covers the window between a Cancel call and the
 		// run goroutine observing it: a doomed job must not adopt new
-		// submitters.
+		// submitters. Adoption is quota-free — no new training starts —
+		// but it boosts a still-queued job to the adopter's priority, so
+		// an urgent caller is never stuck behind the first submitter's
+		// patience.
 		if st != StatusFailed && st != StatusCanceled && !j.canceled.Load() {
+			if priority > int(j.priority.Load()) {
+				j.priority.Store(int32(priority))
+				if w := j.waiter; w != nil {
+					w.priority = priority
+					heap.Fix(&s.pending, w.index)
+				}
+			}
 			return j, nil
 		}
 	}
+	if s.opts.TenantInflight > 0 && s.tenants[tenant] >= s.opts.TenantInflight {
+		return nil, fmt.Errorf("%w: tenant %q already has %d unfinished jobs",
+			ErrQuotaExceeded, tenant, s.tenants[tenant])
+	}
+	s.tenants[tenant]++
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &Job{key: key, cancel: cancel, done: make(chan struct{})}
+	j := &Job{
+		id:     JobID(key),
+		key:    key,
+		tenant: tenant,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	j.priority.Store(int32(priority))
 	s.jobs[key] = j
+	s.byID[j.id] = j
 	s.wg.Add(1)
-	go s.run(ctx, j, g, prox, cfg)
+	go s.run(ctx, j, g, prox, cfg, materialize)
 	return j, nil
 }
 
@@ -229,6 +503,24 @@ func (s *Service) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.wg.Wait()
+}
+
+// CancelAll cancels every job that has not finished yet (the fast-shutdown
+// half of a graceful stop: CancelAll, then Close).
+func (s *Service) CancelAll() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		default:
+			j.Cancel()
+		}
+	}
 }
 
 // slotsFor returns how many worker slots a config consumes.
@@ -243,53 +535,24 @@ func (s *Service) slotsFor(cfg core.Config) int {
 	return n
 }
 
-// acquire claims n worker slots, or returns ctx.Err if the job is canceled
-// while queued — whether it is waiting at the head of the queue (for
-// slots) or further back (for the acquisition lock itself). A canceled
-// context always wins over an available grant: without the explicit
-// ctx.Err() checks, select would pick between a ready slot and a done
-// context at random, letting a canceled job start training.
-func (s *Service) acquire(ctx context.Context, n int) error {
-	select {
-	case <-s.acq:
-	case <-ctx.Done():
-		return ctx.Err()
+// finish settles a job's bookkeeping after its terminal status is set.
+func (s *Service) finish(j *Job) {
+	s.mu.Lock()
+	if s.tenants[j.tenant]--; s.tenants[j.tenant] <= 0 {
+		delete(s.tenants, j.tenant)
 	}
-	defer func() { s.acq <- struct{}{} }()
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	for i := 0; i < n; i++ {
-		select {
-		case <-s.slots:
-			// Claimed slot i+1. If the context died concurrently (select
-			// picks arbitrarily when both are ready), give everything
-			// back below rather than starting a canceled run.
-			if err := ctx.Err(); err != nil {
-				s.release(i + 1)
-				return err
-			}
-		case <-ctx.Done():
-			s.release(i)
-			return ctx.Err()
-		}
-	}
-	return nil
+	s.mu.Unlock()
 }
 
-func (s *Service) release(n int) {
-	for i := 0; i < n; i++ {
-		s.slots <- struct{}{}
-	}
-}
-
-// run executes one job: wait for slots, train through the result memo, and
-// publish the outcome.
-func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximity.Proximity, cfg core.Config) {
+// run executes one job: wait for slots (priority-ordered), train through
+// the result memo — consulting the artifact store on a memo miss and
+// persisting fresh completions — and publish the outcome.
+func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximity.Proximity, cfg core.Config, materialize bool) {
 	defer s.wg.Done()
 	defer close(j.done)
+	defer s.finish(j)
 	n := s.slotsFor(cfg)
-	if err := s.acquire(ctx, n); err != nil {
+	if err := s.acquire(ctx, j, n); err != nil {
 		// Canceled while queued: no training happened, so there is no
 		// partial result to hand back — unlike a running-job cancel.
 		j.err = err
@@ -303,14 +566,40 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 	// because it never changes a result bit.
 	cfg.Workers = n
 	j.status.Store(int32(StatusRunning))
+	// Spec-resolved jobs swap the lazy measure for the memo's materialized
+	// matrix HERE, under the slots just acquired — submission-time
+	// materialization would run outside the worker budget and block the
+	// transport. Safe to swap: lazy At and materialized rows are
+	// bit-identical for every registered measure (the dedup contract,
+	// proximity.TestAtMatchesMaterializedEverywhere).
+	if materialize {
+		mp, err := s.opts.Memo.Proximity(g, prox.Name(), n)
+		if err != nil {
+			j.err = err
+			j.status.Store(int32(StatusFailed))
+			return
+		}
+		prox = mp
+	}
 	// The job's ctx flows both into the training loop (epoch-granular
 	// stop) and into the memo's singleflight wait, so Cancel works even
 	// while this job is parked behind another service's identical run on
 	// a shared Memo.
 	res, err := s.opts.Memo.ResultFor(ctx, j.key, func() (*core.Result, error) {
-		return core.TrainContext(ctx, g, prox, cfg, core.Hooks{
+		if s.store != nil {
+			if cached, ok := s.store.Load(j.key); ok {
+				return cached, nil
+			}
+		}
+		res, err := core.TrainContext(ctx, g, prox, cfg, core.Hooks{
 			Epoch: func(st core.EpochStats) { j.stats.Store(st) },
 		})
+		if err == nil && res.Stopped != core.StopCanceled && s.store != nil {
+			// Best-effort persistence: a failed write degrades restart
+			// warmth, never the in-flight response.
+			_ = s.store.Save(j.key, res)
+		}
+		return res, err
 	})
 	j.res, j.err = res, err
 	switch {

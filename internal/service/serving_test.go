@@ -1,0 +1,512 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/experiments"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/spec"
+)
+
+// ringSpec returns a small deterministic inline-graph spec (20-node ring
+// plus chords, 30 edges) with a fast config.
+func ringSpec() spec.JobSpec {
+	edges := make([][2]int, 0, 30)
+	for i := 0; i < 20; i++ {
+		edges = append(edges, [2]int{i, (i + 1) % 20})
+	}
+	for i := 0; i < 10; i++ {
+		edges = append(edges, [2]int{i, i + 5})
+	}
+	return spec.JobSpec{
+		Graph:     spec.GraphSource{Inline: &spec.InlineSource{Nodes: 20, Edges: edges}},
+		Proximity: "degree",
+		Config:    spec.ConfigSpec{Dim: 8, BatchSize: 16, MaxEpochs: 5, Seed: 1},
+	}
+}
+
+// ringGraph builds the same graph as ringSpec through the Go API.
+func ringGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(20)
+	for i := 0; i < 20; i++ {
+		if err := b.AddEdge(i, (i+1)%20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.AddEdge(i, i+5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// occupyAllSlots drains the service's free slots so subsequent jobs queue
+// deterministically; the returned function puts them back.
+func occupyAllSlots(s *Service) (restore func()) {
+	s.mu.Lock()
+	held := s.free
+	s.free = 0
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		s.free += held
+		s.dispatchLocked()
+		s.mu.Unlock()
+	}
+}
+
+// pendingLen reports how many claims are queued.
+func pendingLen(s *Service) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+func waitPending(t *testing.T, s *Service, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for pendingLen(s) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending queue never reached %d (at %d)", n, pendingLen(s))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPriorityAdmissionOrder drives the admission heap directly: with no
+// free slots, claims enqueued low-priority-first must be granted
+// highest-priority-first, FIFO within a priority.
+func TestPriorityAdmissionOrder(t *testing.T) {
+	s := New(Options{MaxWorkers: 1})
+	defer s.Close()
+	restore := occupyAllSlots(s)
+	defer restore()
+
+	grants := make(chan string, 4)
+	enqueue := func(name string, priority int) {
+		j := &Job{}
+		j.priority.Store(int32(priority))
+		go func() {
+			if err := s.acquire(context.Background(), j, 1); err != nil {
+				t.Errorf("%s: acquire: %v", name, err)
+				return
+			}
+			grants <- name
+			s.release(1)
+		}()
+	}
+	// Arrival order: low, high, then two equal mid-priority claims.
+	enqueue("low", 0)
+	waitPending(t, s, 1)
+	enqueue("high", 10)
+	waitPending(t, s, 2)
+	enqueue("mid-first", 5)
+	waitPending(t, s, 3)
+	enqueue("mid-second", 5)
+	waitPending(t, s, 4)
+
+	restore() // hand the slot back; grants now chain via release
+	want := []string{"high", "mid-first", "mid-second", "low"}
+	for _, expect := range want {
+		select {
+		case got := <-grants:
+			if got != expect {
+				t.Fatalf("grant order: got %q, want %q", got, expect)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %q", expect)
+		}
+	}
+}
+
+// TestCancelWhileQueuedBehindPriority: canceling a claim parked behind
+// others must remove it from the heap without disturbing the rest.
+func TestCancelWhileQueuedBehindPriority(t *testing.T) {
+	s := New(Options{MaxWorkers: 1})
+	defer s.Close()
+	restore := occupyAllSlots(s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.acquire(ctx, &Job{}, 1) }()
+	waitPending(t, s, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled claim returned %v", err)
+	}
+	if n := pendingLen(s); n != 0 {
+		t.Fatalf("canceled claim left %d heap entries", n)
+	}
+	restore()
+	// The slot survives: a fresh claim is granted immediately.
+	if err := s.acquire(context.Background(), &Job{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.release(1)
+}
+
+// TestTenantQuota: a tenant at its in-flight cap gets ErrQuotaExceeded —
+// for distinct jobs AND for resubmissions of its own job, because the cap
+// is enforced before resolution (a 429 must cost the server nothing) and
+// dedup cannot be established without resolving. Other tenants are
+// unaffected, a below-cap tenant adopts an existing job quota-free, and
+// finishing a job frees the quota.
+func TestTenantQuota(t *testing.T) {
+	s := New(Options{MaxWorkers: 1, TenantInflight: 1})
+	restore := occupyAllSlots(s) // park everything in the queue
+	defer func() {
+		restore()
+		s.Close()
+	}()
+
+	sp1 := ringSpec()
+	sp1.Tenant = "acme"
+	j1, err := s.SubmitSpec(sp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j1.Cancel()
+
+	sp2 := ringSpec()
+	sp2.Tenant = "acme"
+	sp2.Config.Seed = 2 // distinct job
+	if _, err := s.SubmitSpec(sp2); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("second acme job: err = %v, want ErrQuotaExceeded", err)
+	}
+	// At the cap even an identical resubmission is refused: admission
+	// control runs before resolution, and without resolution there is no
+	// key to deduplicate on. Poll by job ID instead of resubmitting.
+	if _, err := s.SubmitSpec(sp1); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("at-cap resubmission: err = %v, want ErrQuotaExceeded", err)
+	}
+
+	// A below-cap tenant adopts acme's queued job quota-free…
+	spAdopt := ringSpec()
+	spAdopt.Tenant = "globex"
+	adopted, err := s.SubmitSpec(spAdopt)
+	if err != nil {
+		t.Fatalf("cross-tenant adoption failed: %v", err)
+	}
+	if adopted != j1 {
+		t.Fatal("identical spec did not deduplicate across tenants")
+	}
+	// …and the adoption did not consume globex's quota: its own distinct
+	// job is still admitted.
+	sp3 := ringSpec()
+	sp3.Tenant = "globex"
+	sp3.Config.Seed = 3
+	j3, err := s.SubmitSpec(sp3)
+	if err != nil {
+		t.Fatalf("adoption charged the adopter's quota: %v", err)
+	}
+	defer j3.Cancel()
+
+	// Finishing (here: canceling) j1 frees acme's slot.
+	j1.Cancel()
+	if _, err := j1.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued cancel: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err = s.SubmitSpec(sp2); err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQuotaExceeded) || time.Now().After(deadline) {
+			t.Fatalf("quota never freed after job finished: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubmitSpecCrossAPIDedup is the heart of the single-currency design:
+// a JobSpec and the equivalent in-memory Submit land on the SAME Job, and
+// its result matches a direct core.Train of the same arguments bit for
+// bit.
+func TestSubmitSpecCrossAPIDedup(t *testing.T) {
+	s := New(Options{MaxWorkers: 2})
+	defer s.Close()
+
+	sp := ringSpec()
+	jSpec, err := s.SubmitSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := ringGraph(t)
+	cfg := core.DefaultConfig()
+	cfg.Dim = 8
+	cfg.BatchSize = 16
+	cfg.MaxEpochs = 5
+	cfg.Seed = 1
+	jGo, err := s.Submit(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jSpec != jGo {
+		t.Fatal("spec and Go submissions of one logical job produced distinct jobs")
+	}
+	if jSpec.ID() != JobID(jSpec.Key()) {
+		t.Fatal("job ID is not the stable function of its key")
+	}
+	if got, ok := s.JobByID(jSpec.ID()); !ok || got != jSpec {
+		t.Fatal("JobByID does not resolve the submitted job")
+	}
+
+	res, err := jSpec.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash64(res.Embedding().Data) != hash64(want.Embedding().Data) {
+		t.Fatal("spec-submitted result diverges from direct Train")
+	}
+}
+
+// TestSubmitSpecResolutionErrors maps bad specs onto ErrInvalidSpec.
+func TestSubmitSpecResolutionErrors(t *testing.T) {
+	s := New(Options{MaxWorkers: 1})
+	defer s.Close()
+	bad := []spec.JobSpec{
+		{Proximity: "degree", Config: spec.ConfigSpec{Seed: 1}}, // no graph source
+		{Graph: spec.GraphSource{Dataset: &spec.DatasetSource{Name: "no-such", Seed: 1}},
+			Proximity: "degree", Config: spec.ConfigSpec{Seed: 1}},
+		{Graph: spec.GraphSource{Dataset: &spec.DatasetSource{Name: "power", Seed: 1}},
+			Proximity: "no-such-measure", Config: spec.ConfigSpec{Seed: 1}},
+		{Graph: spec.GraphSource{Inline: &spec.InlineSource{Nodes: 4, Edges: [][2]int{{0, 0}}}},
+			Proximity: "degree", Config: spec.ConfigSpec{Seed: 1}}, // self-loop
+		{Graph: spec.GraphSource{File: &spec.FileSource{Path: "g.txt"}},
+			Proximity: "degree", Config: spec.ConfigSpec{Seed: 1}}, // no GraphDir
+	}
+	for i, sp := range bad {
+		if _, err := s.SubmitSpec(sp); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("bad spec %d: err = %v, want ErrInvalidSpec", i, err)
+		}
+	}
+}
+
+// TestSubmitSpecFileSource resolves a server-side edge list confined to
+// GraphDir.
+func TestSubmitSpecFileSource(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tiny.txt"),
+		[]byte("0 1\n1 2\n2 3\n3 0\n0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{MaxWorkers: 1, GraphDir: dir})
+	defer s.Close()
+	sp := spec.JobSpec{
+		Graph:     spec.GraphSource{File: &spec.FileSource{Path: "tiny.txt"}},
+		Proximity: "degree",
+		Config:    spec.ConfigSpec{Dim: 4, BatchSize: 4, MaxEpochs: 2, Seed: 1},
+	}
+	j, err := s.SubmitSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 2 {
+		t.Fatalf("file-sourced job ran %d epochs, want 2", res.Epochs)
+	}
+}
+
+// TestArtifactStoreRoundTrip pins the on-disk format at the Store level.
+func TestArtifactStoreRoundTrip(t *testing.T) {
+	g := testGraph()
+	cfg := testCfg()
+	res, err := core.Train(g, proximity.NewDeepWalk(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := experiments.ResultKey{Graph: g.Fingerprint(), Proximity: "deepwalk", Config: cfg.Hash()}
+	if _, ok := st.Load(key); ok {
+		t.Fatal("empty store claimed a hit")
+	}
+	if err := st.Save(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Load(key)
+	if !ok {
+		t.Fatal("saved artifact not loadable")
+	}
+	if !reflect.DeepEqual(got.Model.Win.Data, res.Model.Win.Data) ||
+		!reflect.DeepEqual(got.Model.Wout.Data, res.Model.Wout.Data) {
+		t.Fatal("artifact round trip changed the matrices")
+	}
+	if got.Epochs != res.Epochs || got.Stopped != res.Stopped ||
+		got.EpsilonSpent != res.EpsilonSpent || got.DeltaSpent != res.DeltaSpent ||
+		!reflect.DeepEqual(got.LossHistory, res.LossHistory) {
+		t.Fatal("artifact round trip changed the scalar results")
+	}
+	// A different key must never be served this artifact.
+	other := key
+	other.Config++
+	if _, ok := st.Load(other); ok {
+		t.Fatal("store served an artifact under the wrong key")
+	}
+}
+
+// TestArtifactStoreSurvivesRestart: a fresh Service (new Memo, same
+// ArtifactDir) serves the identical submission from disk — observable as
+// an equal result with no training progress ever reported.
+func TestArtifactStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	sp := ringSpec()
+
+	s1 := New(Options{MaxWorkers: 1, ArtifactDir: dir})
+	j1, err := s1.SubmitSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := j1.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	if _, trained := j1.Progress(); !trained {
+		t.Fatal("first run reported no training — the restart test would be vacuous")
+	}
+
+	s2 := New(Options{MaxWorkers: 1, ArtifactDir: dir})
+	defer s2.Close()
+	j2, err := s2.SubmitSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := j2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, trained := j2.Progress(); trained {
+		t.Fatal("restarted service retrained instead of loading the artifact")
+	}
+	if hash64(res1.Embedding().Data) != hash64(res2.Embedding().Data) {
+		t.Fatal("artifact-served embedding differs from the trained one")
+	}
+	if res2.Epochs != res1.Epochs || res2.Stopped != res1.Stopped {
+		t.Fatalf("artifact-served metadata drifted: %+v vs %+v", res2.Epochs, res1.Epochs)
+	}
+}
+
+// TestQuotaRejectionIsFree pins the admission-before-resolution order: a
+// tenant at its cap must be refused BEFORE the spec resolves, so rejected
+// floods cannot grow the memo's graph cache.
+func TestQuotaRejectionIsFree(t *testing.T) {
+	memo := experiments.NewMemo()
+	s := New(Options{MaxWorkers: 1, TenantInflight: 1, Memo: memo})
+	defer s.Close()
+	restore := occupyAllSlots(s)
+	defer restore()
+
+	sp1 := ringSpec()
+	sp1.Tenant = "acme"
+	j1, err := s.SubmitSpec(sp1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j1.Cancel()
+
+	// A flood of DISTINCT dataset specs from the capped tenant: every one
+	// must 429 without simulating its dataset.
+	for seed := uint64(0); seed < 5; seed++ {
+		sp := spec.JobSpec{
+			Graph:     spec.GraphSource{Dataset: &spec.DatasetSource{Name: "power", Scale: 0.05, Seed: seed}},
+			Proximity: "degree",
+			Config:    spec.ConfigSpec{Dim: 4, BatchSize: 4, MaxEpochs: 2, Seed: 1},
+		}
+		sp.Tenant = "acme"
+		if _, err := s.SubmitSpec(sp); !errors.Is(err, ErrQuotaExceeded) {
+			t.Fatalf("seed %d: err = %v, want ErrQuotaExceeded", seed, err)
+		}
+	}
+	if n := memo.GraphCacheLen(); n != 0 {
+		t.Fatalf("rejected submissions grew the graph cache to %d entries", n)
+	}
+}
+
+// TestSubmitAfterCloseSentinel: the closed error classifies via ErrClosed
+// on both submission paths.
+func TestSubmitAfterCloseSentinel(t *testing.T) {
+	s := New(Options{MaxWorkers: 1})
+	s.Close()
+	if _, err := s.SubmitSpec(ringSpec()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SubmitSpec after Close: %v, want ErrClosed", err)
+	}
+	g := ringGraph(t)
+	if _, err := s.Submit(g, proximity.NewDegree(g), testCfg()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestAdoptionBoostsPriority: a high-priority adopter re-heaps the queued
+// job to its priority, so it overtakes mid-priority claims enqueued ahead
+// of it.
+func TestAdoptionBoostsPriority(t *testing.T) {
+	s := New(Options{MaxWorkers: 1})
+	defer s.Close()
+	restore := occupyAllSlots(s)
+
+	low := ringSpec() // priority 0
+	jLow, err := s.SubmitSpec(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the job's claim is actually queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for pendingLen(s) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("job claim never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	boosted := ringSpec()
+	boosted.Priority = 10
+	jSame, err := s.SubmitSpec(boosted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jSame != jLow {
+		t.Fatal("identical spec did not deduplicate")
+	}
+	if jLow.Priority() != 10 {
+		t.Fatalf("adopted job priority = %d, want boosted 10", jLow.Priority())
+	}
+	s.mu.Lock()
+	w := jLow.waiter
+	ok := w != nil && w.priority == 10 && s.pending[0] == w
+	s.mu.Unlock()
+	if !ok {
+		t.Fatal("boost did not re-heap the queued claim")
+	}
+	// A lower adopter must never DOWNGRADE.
+	lower := ringSpec()
+	lower.Priority = 3
+	if _, err := s.SubmitSpec(lower); err != nil {
+		t.Fatal(err)
+	}
+	if jLow.Priority() != 10 {
+		t.Fatalf("adoption lowered priority to %d", jLow.Priority())
+	}
+	jLow.Cancel()
+	restore()
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/experiments"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/skipgram"
+)
+
+// artifactVersion identifies the on-disk result layout; bump on any field
+// change so a stale artifact is retrained, never misread.
+const artifactVersion = 1
+
+// artifactHeader is the gob head of a persisted training result: the full
+// deduplication key (re-verified on load — the filename hash is a lookup
+// aid, not an identity), the matrix shape, and every scalar Result field.
+// The weight matrices follow as chunked row blocks, reusing the v2
+// checkpoint framing (core.EncodeFloat64Chunks), so encoding a
+// million-node result never buffers a dense copy inside gob.
+type artifactHeader struct {
+	Version          int
+	GraphFingerprint uint64
+	Proximity        string
+	ConfigHash       uint64
+	Nodes, Dim       int
+	Epochs           int
+	Stopped          int
+	StoppedByBudget  bool
+	EpsilonSpent     float64
+	DeltaSpent       float64
+	LossHistory      []float64
+}
+
+// Store persists completed training results under one directory, so a
+// restarted service serves repeat submissions without retraining — the
+// durable tier under the in-memory Memo. Layout: one gob file per
+// deduplication key, named by the stable job ID.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) an artifact directory.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir}, nil
+}
+
+// path places a key's artifact. JobID is a hex-safe pure function of the
+// key, so the name needs no escaping; the proximity name is appended
+// readably for operators (sanitized — names are ASCII identifiers, but a
+// custom Proximity could say otherwise).
+func (st *Store) path(key experiments.ResultKey) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s-%s.result.gob", JobID(key), sanitizeName(key.Proximity)))
+}
+
+func sanitizeName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// Save persists a completed result atomically (write-to-temp, fsync,
+// rename), the same crash discipline as CLI checkpoints: a torn write
+// leaves the previous artifact — or no artifact — never a corrupt one.
+func (st *Store) Save(key experiments.ResultKey, res *core.Result) error {
+	path := st.path(key)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := writeArtifact(f, key, res); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func writeArtifact(w io.Writer, key experiments.ResultKey, res *core.Result) error {
+	enc := gob.NewEncoder(w)
+	hdr := artifactHeader{
+		Version:          artifactVersion,
+		GraphFingerprint: key.Graph,
+		Proximity:        key.Proximity,
+		ConfigHash:       key.Config,
+		Nodes:            res.Model.Win.Rows,
+		Dim:              res.Model.Dim,
+		Epochs:           res.Epochs,
+		Stopped:          int(res.Stopped),
+		StoppedByBudget:  res.StoppedByBudget,
+		EpsilonSpent:     res.EpsilonSpent,
+		DeltaSpent:       res.DeltaSpent,
+		LossHistory:      res.LossHistory,
+	}
+	if err := enc.Encode(&hdr); err != nil {
+		return err
+	}
+	if err := core.EncodeFloat64Chunks(enc, res.Model.Win.Data); err != nil {
+		return err
+	}
+	return core.EncodeFloat64Chunks(enc, res.Model.Wout.Data)
+}
+
+// Load retrieves the persisted result for key, reporting false on any
+// miss: absent file, version skew, key mismatch (hash collision or a
+// renamed file), or corruption. A false simply means the service retrains
+// — the store can never poison a response.
+func (st *Store) Load(key experiments.ResultKey) (*core.Result, bool) {
+	f, err := os.Open(st.path(key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	res, err := readArtifact(f, key)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+func readArtifact(r io.Reader, key experiments.ResultKey) (*core.Result, error) {
+	dec := gob.NewDecoder(r)
+	var hdr artifactHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, err
+	}
+	switch {
+	case hdr.Version != artifactVersion:
+		return nil, fmt.Errorf("artifact version %d, want %d", hdr.Version, artifactVersion)
+	case hdr.GraphFingerprint != key.Graph || hdr.Proximity != key.Proximity || hdr.ConfigHash != key.Config:
+		return nil, fmt.Errorf("artifact key mismatch")
+	case hdr.Nodes < 1 || hdr.Dim < 1 || hdr.Nodes > int(^uint(0)>>1)/hdr.Dim:
+		return nil, fmt.Errorf("artifact claims impossible shape %dx%d", hdr.Nodes, hdr.Dim)
+	}
+	total := hdr.Nodes * hdr.Dim
+	win, err := core.DecodeFloat64Chunks(dec, total)
+	if err != nil {
+		return nil, err
+	}
+	wout, err := core.DecodeFloat64Chunks(dec, total)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{
+		Model: &skipgram.Model{
+			Dim:  hdr.Dim,
+			Win:  &mathx.Matrix{Rows: hdr.Nodes, Cols: hdr.Dim, Data: win},
+			Wout: &mathx.Matrix{Rows: hdr.Nodes, Cols: hdr.Dim, Data: wout},
+		},
+		Epochs:          hdr.Epochs,
+		Stopped:         core.StopReason(hdr.Stopped),
+		StoppedByBudget: hdr.StoppedByBudget,
+		EpsilonSpent:    hdr.EpsilonSpent,
+		DeltaSpent:      hdr.DeltaSpent,
+		LossHistory:     hdr.LossHistory,
+	}, nil
+}

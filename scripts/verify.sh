@@ -8,4 +8,7 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/...
+# Serving smoke: random port, one tiny job over real HTTP, poll to done,
+# fetch the result.
+go run ./cmd/seprivd -selftest
 echo "verify: OK"

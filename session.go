@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"seprivgemb/internal/core"
+	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/service"
+	"seprivgemb/internal/spec"
 )
 
 // This file is the job-oriented face of the library: Session wraps one
@@ -33,6 +35,37 @@ type (
 	Job = service.Job
 	// JobStatus is a Job's lifecycle state.
 	JobStatus = service.Status
+	// JobSpec is the declarative, wire-codable training request: graph
+	// source, proximity by name, full config, priority, and tenant. The
+	// single submission currency of the serving surface — the same spec
+	// deduplicates across the Go API and the HTTP front-end.
+	JobSpec = spec.JobSpec
+	// GraphSource names a JobSpec's training graph (dataset, inline edge
+	// list, or server-side file — exactly one).
+	GraphSource = spec.GraphSource
+	// DatasetSource simulates a named benchmark dataset at scale+seed.
+	DatasetSource = spec.DatasetSource
+	// InlineSource carries an edge list in the request.
+	InlineSource = spec.InlineSource
+	// FileSource names a server-side edge-list file.
+	FileSource = spec.FileSource
+	// ConfigSpec is the wire form of Config; zero fields take the paper
+	// defaults.
+	ConfigSpec = spec.ConfigSpec
+	// ServiceOptions configures NewServiceWith: worker budget, memo
+	// limits, per-tenant quotas, graph and artifact directories.
+	ServiceOptions = service.Options
+	// MemoLimits bounds a service's memoized results (TTL + LRU cap).
+	MemoLimits = experiments.Limits
+)
+
+// ErrQuotaExceeded, ErrInvalidSpec and ErrServiceClosed classify
+// submission failures (test with errors.Is); the HTTP front-end maps
+// them to 429, 400 and 503.
+var (
+	ErrQuotaExceeded = service.ErrQuotaExceeded
+	ErrInvalidSpec   = service.ErrInvalidSpec
+	ErrServiceClosed = service.ErrClosed
 )
 
 // Stop reasons for Result.Stopped.
@@ -165,7 +198,15 @@ type Service struct {
 // NewService returns a job service bounded to maxWorkers total training
 // workers across all concurrently running jobs (<= 0 selects GOMAXPROCS).
 func NewService(maxWorkers int) *Service {
-	return &Service{svc: service.New(service.Options{MaxWorkers: maxWorkers})}
+	return NewServiceWith(ServiceOptions{MaxWorkers: maxWorkers})
+}
+
+// NewServiceWith returns a job service with the full serving
+// configuration: memo eviction limits, per-tenant in-flight quotas,
+// a graph directory for file-sourced specs, and an artifact directory
+// that persists completed results across process restarts.
+func NewServiceWith(opts ServiceOptions) *Service {
+	return &Service{svc: service.New(opts)}
 }
 
 // Submit enqueues a training run and returns its Job handle. Submissions
@@ -179,6 +220,28 @@ func (s *Service) Submit(g *Graph, prox Proximity, cfg Config) (*Job, error) {
 	}
 	return s.svc.Submit(g, prox, cfg)
 }
+
+// SubmitSpec enqueues a declarative JobSpec: the graph source is resolved
+// (simulated datasets and their materialized proximities are memoized per
+// service), the wire config mapped onto the paper defaults, and the job
+// admitted under the spec's priority and tenant quota. A spec identical to
+// one submitted over HTTP — or through this method, or whose resolved
+// arguments match a plain Submit — shares that job and its one Result.
+// Failures classify via errors.Is: ErrInvalidSpec (malformed or
+// unresolvable), ErrQuotaExceeded (tenant at its in-flight cap).
+func (s *Service) SubmitSpec(sp JobSpec) (*Job, error) {
+	return s.svc.SubmitSpec(sp)
+}
+
+// JobByID returns the job registered under the stable spec-derived ID
+// (the same ID the HTTP API reports).
+func (s *Service) JobByID(id string) (*Job, bool) {
+	return s.svc.JobByID(id)
+}
+
+// CancelAll cancels every unfinished job — the fast half of a graceful
+// shutdown (CancelAll, then Close).
+func (s *Service) CancelAll() { s.svc.CancelAll() }
 
 // Close stops accepting submissions and waits for in-flight jobs to
 // finish (cancel them individually first for a fast shutdown).

@@ -3,6 +3,7 @@ package seprivgemb_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -200,5 +201,54 @@ func TestEvalWorkersFacade(t *testing.T) {
 	score := seprivgemb.EmbeddingScorer(emb)
 	if got, want := seprivgemb.LinkAUCWorkers(split, score, 4), seprivgemb.LinkAUC(split, score); got != want {
 		t.Fatalf("LinkAUCWorkers(4) = %v, serial %v", got, want)
+	}
+}
+
+// TestSubmitSpecFacade: the declarative submission surface re-exported at
+// the root — a dataset JobSpec resolves, trains, and deduplicates against
+// the equivalent in-memory Submit, and the stable job ID round-trips
+// through JobByID.
+func TestSubmitSpecFacade(t *testing.T) {
+	svc := seprivgemb.NewServiceWith(seprivgemb.ServiceOptions{MaxWorkers: 2})
+	defer svc.Close()
+
+	sp := seprivgemb.JobSpec{
+		Graph:     seprivgemb.GraphSource{Dataset: &seprivgemb.DatasetSource{Name: "chameleon", Scale: 0.05, Seed: 1}},
+		Proximity: "deepwalk",
+		Config:    seprivgemb.ConfigSpec{Dim: 16, MaxEpochs: 30, Seed: 3},
+	}
+	j, err := svc.SubmitSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := svc.JobByID(j.ID()); !ok || got != j {
+		t.Fatal("JobByID does not resolve the spec-submitted job")
+	}
+
+	// The equivalent in-memory submission shares the job.
+	g, prox, cfg := sessionTestInputs(t)
+	j2, err := svc.Submit(g, prox, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 != j {
+		t.Fatal("JobSpec and in-memory Submit of one logical job did not deduplicate")
+	}
+
+	res, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seprivgemb.NewSession(g, prox, seprivgemb.WithConfig(cfg)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if embHash(res.Embedding().Data) != embHash(want.Embedding().Data) {
+		t.Fatal("spec-submitted result diverges from Session.Run")
+	}
+
+	// Bad specs classify through the re-exported sentinel.
+	if _, err := svc.SubmitSpec(seprivgemb.JobSpec{Proximity: "deepwalk"}); !errors.Is(err, seprivgemb.ErrInvalidSpec) {
+		t.Fatalf("invalid spec error = %v, want ErrInvalidSpec", err)
 	}
 }
