@@ -1,12 +1,12 @@
 GO ?= go
 # Benchmark → JSON recording for the perf trajectory; bump per PR.
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_JSON ?= BENCH_pr5.json
 # The sharded-stage benchmarks: the DP noise/update stage, the one-shot
 # graph passes, the whole-train scaling curve, the sharded evaluation
 # metrics (PR 3), and the sharded proximity stats/edge-weight scans (PR 4).
 BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|StrucEquWorkers|LinkAUCWorkers|ComputeStatsWorkers|EdgeWeightsWorkers
 
-.PHONY: build test vet race bench bench-json serve-smoke verify
+.PHONY: build test vet race fmt-check bench bench-json serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Fail on any file gofmt would rewrite (the CI hygiene gate).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 # Race-detect the concurrent paths (the parallel training engine and the
 # experiments sweep runner live under internal/).
@@ -39,5 +45,6 @@ bench-json:
 serve-smoke:
 	$(GO) run ./cmd/seprivd -selftest
 
-# Tier-1 verification in one command.
-verify: build vet test race serve-smoke
+# Tier-1 verification in one command — the same gate
+# .github/workflows/ci.yml runs on every push/PR.
+verify: build fmt-check vet test race serve-smoke

@@ -19,6 +19,11 @@
 // server as the seprivd binary): training requests arrive as declarative
 // JSON JobSpecs on POST /v1/jobs and are queued, deduplicated, and
 // optionally persisted across restarts. See internal/server.
+//
+// `sepriv fetch -addr URL -job ID [-rows lo:hi] [-out f.tsv]` retrieves a
+// finished job's embedding from such a server as TSV — one explicit row
+// window with -rows, or the whole matrix paged through the server's range
+// cursor so neither side ever materializes more than a page.
 package main
 
 import (
@@ -36,10 +41,16 @@ import (
 )
 
 func main() {
-	// Subcommand dispatch ahead of flag parsing: `sepriv serve` hands the
-	// remaining arguments to the shared server CLI.
-	if len(os.Args) > 1 && os.Args[1] == "serve" {
-		os.Exit(server.Main(os.Args[2:], os.Stdout, os.Stderr))
+	// Subcommand dispatch ahead of flag parsing: `sepriv serve` and
+	// `sepriv fetch` hand the remaining arguments to the shared server
+	// CLI (the server and its row-range fetch client).
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(server.Main(os.Args[2:], os.Stdout, os.Stderr))
+		case "fetch":
+			os.Exit(server.FetchMain(os.Args[2:], os.Stdout, os.Stderr))
+		}
 	}
 	var (
 		graphPath   = flag.String("graph", "", "edge-list file to train on")

@@ -41,6 +41,16 @@
 // specs deduplicate onto a single job with a stable ID and a shared
 // Result.
 //
+// Results serve by row range (DESIGN.md §10): checkpoints and persisted
+// artifacts use an indexed chunk format whose row-offset index decodes
+// any window [lo, hi) at O(window·r) memory (Result.Rows,
+// DecodeCheckpointRows, Service.ResultRows), and the HTTP result API
+// pages through large embeddings (?embedding=range&offset=&limit= with a
+// Link rel="next" cursor, or GET .../result/rows/{lo}-{hi}) instead of
+// inlining |V|×r matrices — embeddingHash always covers the full matrix,
+// so every page is verifiable against the whole. `sepriv fetch` is the
+// matching CLI client.
+//
 // Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs
 // subgraph generation, the per-epoch gradient stage AND the DP noise/update
 // stage on goroutine pools that preserve bit-identical results at every

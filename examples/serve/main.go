@@ -102,6 +102,56 @@ func main() {
 		result.Nodes, result.Dim, result.Epochs, result.EpsilonSpent)
 	fmt.Printf("embedding hash over the wire: %s\n", result.EmbeddingHash)
 
+	// --- Row-range serving: fetch only the rows you need. --------------
+	// An analyst scoring a handful of candidate nodes never needs the
+	// |V|×r matrix: /result/rows/{lo}-{hi} decodes just that window (from
+	// the artifact's row index when the server persists artifacts), and
+	// embeddingHash still digests the FULL matrix, so the window is
+	// verifiable against the whole-result fetch above.
+	r, err = http.Get(base + "/v1/jobs/" + job.ID + "/result/rows/0-3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var window struct {
+		EmbeddingHash string      `json:"embeddingHash"`
+		RowCount      int         `json:"rowCount"`
+		Embedding     [][]float64 `json:"embedding"`
+	}
+	json.NewDecoder(r.Body).Decode(&window)
+	r.Body.Close()
+	fmt.Printf("\nrow window [0, 3): %d rows, same full hash: %v\n",
+		window.RowCount, window.EmbeddingHash == result.EmbeddingHash)
+	for i, row := range window.Embedding {
+		fmt.Printf("  node %d: [%+.3f %+.3f %+.3f ...]\n", i, row[0], row[1], row[2])
+	}
+
+	// Large embeddings page through a cursor instead: ?embedding=range
+	// walks the matrix in limit-row pages, each response linking the next
+	// (range.next, also a Link: rel="next" header), so neither side ever
+	// materializes more than one page.
+	pages, rows := 0, 0
+	next := "/v1/jobs/" + job.ID + "/result?embedding=range&offset=0&limit=64"
+	for next != "" && pages <= 32 {
+		pr, err := http.Get(base + next)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pg struct {
+			RowCount int `json:"rowCount"`
+			Range    *struct {
+				Next string `json:"next"`
+			} `json:"range"`
+		}
+		decodeErr := json.NewDecoder(pr.Body).Decode(&pg)
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusOK || decodeErr != nil || pg.Range == nil {
+			log.Fatalf("page %s: HTTP %d, decode %v", next, pr.StatusCode, decodeErr)
+		}
+		pages, rows = pages+1, rows+pg.RowCount
+		next = pg.Range.Next
+	}
+	fmt.Printf("paged the full embedding: %d rows over %d pages of ≤64\n", rows, pages)
+
 	// --- Cross-transport dedup: the same spec through the Go API. -----
 	// SubmitSpec resolves onto the SAME job: no second training run, and
 	// the in-memory result hashes to exactly the wire hash.

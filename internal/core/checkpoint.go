@@ -20,7 +20,17 @@ import (
 // v2 (PR 4): the weight matrices moved out of the gob header into a
 // stream of fixed-size row blocks (see Encode), so encoding a million-node
 // checkpoint no longer buffers a third dense |V|×r copy inside gob.
-const checkpointVersion = 2
+//
+// v3 (PR 5): the blocks became independently decodable frames followed by
+// a row-offset index (rowindex.go), so DecodeCheckpointRows can serve an
+// arbitrary row window of the embedding without materializing either full
+// matrix. DecodeCheckpoint still reads v2 streams (full decode only —
+// they carry no index); Encode always writes v3.
+const checkpointVersion = 3
+
+// checkpointVersionV2 is the PR 4 layout: one shared gob stream of header
+// then chunked blocks. Readable for compatibility, never written.
+const checkpointVersionV2 = 2
 
 // chunkFloats is the block size (float64 values) of the chunked matrix
 // stream: 8192 values = 64 KiB per gob message, small enough that the
@@ -221,13 +231,9 @@ func DecodeFloat64Chunks(dec *gob.Decoder, n int) ([]float64, error) {
 	return dst, nil
 }
 
-// Encode writes ck to w in the stable binary checkpoint format: a gob
-// header with every scalar field, then Win and Wout streamed as row
-// blocks (EncodeFloat64Chunks). Streaming keeps encode memory flat in
-// |V| — the checkpoint's own two dense copies are the only ones alive.
-func (ck *Checkpoint) Encode(w io.Writer) error {
-	enc := gob.NewEncoder(w)
-	hdr := checkpointHeader{
+// header returns ck's wire header.
+func (ck *Checkpoint) header() checkpointHeader {
+	return checkpointHeader{
 		Version:          ck.Version,
 		ConfigHash:       ck.ConfigHash,
 		GraphFingerprint: ck.GraphFingerprint,
@@ -242,33 +248,10 @@ func (ck *Checkpoint) Encode(w io.Writer) error {
 		EpsilonSpent:     ck.EpsilonSpent,
 		DeltaSpent:       ck.DeltaSpent,
 	}
-	if err := enc.Encode(&hdr); err != nil {
-		return fmt.Errorf("core: encoding checkpoint header: %w", err)
-	}
-	if err := EncodeFloat64Chunks(enc, ck.Win); err != nil {
-		return fmt.Errorf("core: encoding checkpoint Win: %w", err)
-	}
-	if err := EncodeFloat64Chunks(enc, ck.Wout); err != nil {
-		return fmt.Errorf("core: encoding checkpoint Wout: %w", err)
-	}
-	return nil
 }
 
-// DecodeCheckpoint reads a checkpoint previously written by Encode.
-func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
-	dec := gob.NewDecoder(r)
-	var hdr checkpointHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
-	}
-	if hdr.Version != checkpointVersion {
-		return nil, fmt.Errorf("core: checkpoint format v%d, this build reads v%d",
-			hdr.Version, checkpointVersion)
-	}
-	if hdr.Nodes < 0 || hdr.Dim < 0 || (hdr.Dim > 0 && hdr.Nodes > int(^uint(0)>>1)/hdr.Dim) {
-		return nil, fmt.Errorf("core: checkpoint claims impossible shape %dx%d", hdr.Nodes, hdr.Dim)
-	}
-	ck := &Checkpoint{
+func checkpointFromHeader(hdr checkpointHeader) *Checkpoint {
+	return &Checkpoint{
 		Version:          hdr.Version,
 		ConfigHash:       hdr.ConfigHash,
 		GraphFingerprint: hdr.GraphFingerprint,
@@ -283,7 +266,68 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 		EpsilonSpent:     hdr.EpsilonSpent,
 		DeltaSpent:       hdr.DeltaSpent,
 	}
-	var err error
+}
+
+// Encode writes ck to w in the indexed v3 checkpoint format (rowindex.go):
+// stream magic, a header frame with every scalar field, Win and Wout as
+// independently decodable row-block frames, the row-offset index, and the
+// trailer. Streaming keeps encode memory flat in |V| — the checkpoint's
+// own two dense copies are the only ones alive — and the index lets
+// DecodeCheckpointRows later serve any row window at O(window) cost.
+func (ck *Checkpoint) Encode(w io.Writer) error {
+	fw := NewFrameWriter(w)
+	if err := fw.WriteStreamMagic(); err != nil {
+		return fmt.Errorf("core: encoding checkpoint magic: %w", err)
+	}
+	hdr := ck.header()
+	if _, err := fw.WriteFrame(&hdr); err != nil {
+		return fmt.Errorf("core: encoding checkpoint header: %w", err)
+	}
+	if err := WriteIndexedMatrices(fw, ck.Nodes, ck.Dim, ck.Win, ck.Wout); err != nil {
+		return fmt.Errorf("core: encoding checkpoint matrices: %w", err)
+	}
+	return nil
+}
+
+// DecodeCheckpoint reads a checkpoint previously written by Encode — the
+// indexed v3 format, or the legacy v2 single-gob-stream format for
+// checkpoints recorded by earlier builds. Decoded checkpoints are
+// normalized to the current version: the in-memory struct is
+// layout-independent, and re-encoding writes v3.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	indexed, cr, err := DetectIndexed(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	var hdr checkpointHeader
+	if indexed {
+		if err := ReadFrameSeq(cr, &hdr); err != nil {
+			return nil, fmt.Errorf("core: decoding checkpoint header: %w", err)
+		}
+		if hdr.Version != checkpointVersion {
+			return nil, fmt.Errorf("core: indexed checkpoint claims format v%d, this build writes v%d",
+				hdr.Version, checkpointVersion)
+		}
+		ck := checkpointFromHeader(hdr)
+		if ck.Win, ck.Wout, err = ReadIndexedMatricesSeq(cr, hdr.Nodes, hdr.Dim); err != nil {
+			return nil, fmt.Errorf("core: decoding checkpoint matrices: %w", err)
+		}
+		return ck, nil
+	}
+	// Legacy v2: one shared gob stream of header then chunked blocks.
+	dec := gob.NewDecoder(cr)
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	}
+	if hdr.Version != checkpointVersionV2 {
+		return nil, fmt.Errorf("core: checkpoint format v%d, this build reads v%d and v%d",
+			hdr.Version, checkpointVersionV2, checkpointVersion)
+	}
+	if hdr.Nodes < 0 || hdr.Dim < 0 || (hdr.Dim > 0 && hdr.Nodes > int(^uint(0)>>1)/hdr.Dim) {
+		return nil, fmt.Errorf("core: checkpoint claims impossible shape %dx%d", hdr.Nodes, hdr.Dim)
+	}
+	ck := checkpointFromHeader(hdr)
+	ck.Version = checkpointVersion
 	if ck.Win, err = DecodeFloat64Chunks(dec, hdr.Nodes*hdr.Dim); err != nil {
 		return nil, fmt.Errorf("core: decoding checkpoint Win: %w", err)
 	}
@@ -291,4 +335,33 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 		return nil, fmt.Errorf("core: decoding checkpoint Wout: %w", err)
 	}
 	return ck, nil
+}
+
+// DecodeCheckpointRows decodes only rows [lo, hi) of the embedding (Win)
+// matrix of an indexed v3 checkpoint, reading just the chunk frames the
+// window intersects — memory and I/O are O(window·r), never O(|V|·r).
+// ra is the checkpoint stream (e.g. an *os.File or bytes.Reader) and size
+// its total byte length. Legacy v2 streams return ErrNoRowIndex.
+func DecodeCheckpointRows(ra io.ReaderAt, size int64, lo, hi int) (*EmbeddingWindow, error) {
+	ix, err := ReadRowIndex(ra, size)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint row window: %w", err)
+	}
+	var hdr checkpointHeader
+	if err := ReadFrameAt(ra, 8, size, &hdr); err != nil {
+		return nil, fmt.Errorf("core: checkpoint row window: reading header: %w", err)
+	}
+	if hdr.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: indexed checkpoint claims format v%d, this build writes v%d",
+			hdr.Version, checkpointVersion)
+	}
+	if hdr.Nodes != ix.Rows || hdr.Dim != ix.Cols {
+		return nil, fmt.Errorf("core: checkpoint header shape %dx%d disagrees with index %dx%d",
+			hdr.Nodes, hdr.Dim, ix.Rows, ix.Cols)
+	}
+	m, err := ix.DecodeRows(ra, ix.Win, size, lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint row window: %w", err)
+	}
+	return &EmbeddingWindow{Lo: lo, Hi: hi, TotalRows: ix.Rows, Dim: ix.Cols, Rows: m}, nil
 }

@@ -151,6 +151,20 @@ type Result struct {
 // Embedding returns the published embedding matrix Win.
 func (r *Result) Embedding() *mathx.Matrix { return r.Model.Win }
 
+// Rows returns rows [lo, hi) of the published embedding as an O(1) view
+// sharing the result's backing array — the in-memory half of the
+// partial-embedding serving contract (the artifact store's LoadRows is
+// the on-disk half). Results are shared across deduplicated submissions,
+// so the view must be treated as read-only. An out-of-range window is an
+// error rather than a panic: serving layers turn it into a 400.
+func (r *Result) Rows(lo, hi int) (*mathx.Matrix, error) {
+	emb := r.Embedding()
+	if lo < 0 || hi < lo || hi > emb.Rows {
+		return nil, fmt.Errorf("core: row window [%d, %d) outside embedding with %d rows", lo, hi, emb.Rows)
+	}
+	return emb.RowRange(lo, hi), nil
+}
+
 // Train runs SE-PrivGEmb (Algorithm 2) — or its non-private SE-GEmb
 // counterpart when cfg.Private is false — on g with the given structure
 // preference. The proximity argument supplies the per-edge weights p_ij of

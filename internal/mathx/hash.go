@@ -1,5 +1,7 @@
 package mathx
 
+import "math"
+
 // FNV64 is a byte-wise FNV-1a accumulator over 64-bit words: each Word is
 // folded in little-endian byte order. It is the one hashing primitive
 // behind the repository's identity digests — graph fingerprints and config
@@ -21,3 +23,16 @@ func (h *FNV64) Word(v uint64) {
 
 // Sum returns the current digest.
 func (h *FNV64) Sum() uint64 { return h.sum }
+
+// DigestFloat64s folds the bit patterns of xs into one FNV-1a digest.
+// This is the embedding-identity hash of the serving stack: the HTTP
+// layer's embeddingHash, the artifact store's full-matrix digest, and the
+// cross-transport dedup tests all use it, so a row window served from any
+// tier can be checked against the full matrix it was cut from.
+func DigestFloat64s(xs []float64) uint64 {
+	h := NewFNV64()
+	for _, x := range xs {
+		h.Word(math.Float64bits(x))
+	}
+	return h.Sum()
+}

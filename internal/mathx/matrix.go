@@ -26,6 +26,16 @@ func (m *Matrix) Row(i int) []float64 {
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 
+// RowRange returns a view of rows [lo, hi) sharing m's backing array: no
+// values are copied, so the window costs O(1) and mutating it mutates m.
+// Callers serving shared results must treat the view as read-only.
+func (m *Matrix) RowRange(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("mathx: RowRange(%d, %d) outside [0,%d]", lo, hi, m.Rows))
+	}
+	return &Matrix{Rows: hi - lo, Cols: m.Cols, Data: m.Data[lo*m.Cols : hi*m.Cols : hi*m.Cols]}
+}
+
 // At returns element (i, j).
 func (m *Matrix) At(i, j int) float64 {
 	return m.Data[i*m.Cols+j]

@@ -85,3 +85,41 @@ func TestMatrixZeroAndNorm(t *testing.T) {
 		t.Fatal("Zero failed")
 	}
 }
+
+func TestRowRange(t *testing.T) {
+	m := NewMatrix(10, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	w := m.RowRange(4, 7)
+	if w.Rows != 3 || w.Cols != 3 {
+		t.Fatalf("window shape %dx%d", w.Rows, w.Cols)
+	}
+	if &w.Data[0] != &m.Data[12] {
+		t.Error("RowRange copied instead of viewing")
+	}
+	if w.At(0, 0) != 12 || w.At(2, 2) != 20 {
+		t.Errorf("window contents %v", w.Data)
+	}
+	// Full and empty windows are legal; writes through the view land in m.
+	if f := m.RowRange(0, 10); f.Rows != 10 {
+		t.Errorf("full window has %d rows", f.Rows)
+	}
+	if e := m.RowRange(5, 5); e.Rows != 0 {
+		t.Errorf("empty window has %d rows", e.Rows)
+	}
+	w.Set(0, 0, -1)
+	if m.At(4, 0) != -1 {
+		t.Error("view write did not reach the parent")
+	}
+	for _, bad := range [][2]int{{-1, 2}, {3, 2}, {0, 11}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RowRange(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			m.RowRange(bad[0], bad[1])
+		}()
+	}
+}

@@ -146,3 +146,23 @@ func TestBinomialLargeDoesNotOverflowToNaN(t *testing.T) {
 		t.Fatalf("Binomial(500, 250) = %g, want positive or +Inf", v)
 	}
 }
+
+func TestDigestFloat64s(t *testing.T) {
+	a := []float64{1.5, -2.25, 0, 3.75}
+	if DigestFloat64s(a) != DigestFloat64s(append([]float64{}, a...)) {
+		t.Error("equal slices digest differently")
+	}
+	b := append([]float64{}, a...)
+	b[2] = math.Copysign(0, -1) // -0.0: distinct bit pattern from +0.0 must change the digest
+	if DigestFloat64s(a) == DigestFloat64s(b) {
+		t.Error("digest ignores the sign bit of zero")
+	}
+	// Matches the word-by-word accumulator it is built on.
+	h := NewFNV64()
+	for _, x := range a {
+		h.Word(math.Float64bits(x))
+	}
+	if DigestFloat64s(a) != h.Sum() {
+		t.Error("DigestFloat64s diverges from FNV64.Word folding")
+	}
+}

@@ -98,8 +98,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 }
 
 // Selftest drives the serving loop end to end over real HTTP: submit a
-// tiny inline job, poll status to done, fetch the result, and check the
-// embedding hash is present. It is the `make serve-smoke` payload.
+// tiny inline job, poll status to done, fetch the full result, then check
+// the row-range serving contract — an explicit /result/rows/{lo}-{hi}
+// window and a cursor-paged walk must both reproduce the corresponding
+// rows of the full embedding bit-exactly under the same full-matrix hash.
+// It is the `make serve-smoke` payload.
 func Selftest(baseURL string, out io.Writer) error {
 	client := &http.Client{Timeout: 10 * time.Second}
 
@@ -144,19 +147,89 @@ func Selftest(baseURL string, out io.Writer) error {
 	}
 
 	var result struct {
-		Epochs        int    `json:"epochs"`
-		Stopped       string `json:"stopped"`
-		EmbeddingHash string `json:"embeddingHash"`
+		Epochs        int         `json:"epochs"`
+		Stopped       string      `json:"stopped"`
+		Nodes         int         `json:"nodes"`
+		EmbeddingHash string      `json:"embeddingHash"`
+		RowCount      int         `json:"rowCount"`
+		Embedding     [][]float64 `json:"embedding"`
 	}
-	if err := getJSON(client, baseURL+"/v1/jobs/"+job.ID+"/result", http.StatusOK, &result); err != nil {
+	if err := getJSON(client, baseURL+"/v1/jobs/"+job.ID+"/result?embedding=full", http.StatusOK, &result); err != nil {
 		return fmt.Errorf("result: %w", err)
 	}
-	if result.EmbeddingHash == "" || result.Epochs != 4 {
+	if result.EmbeddingHash == "" || result.Epochs != 4 || result.RowCount != result.Nodes {
 		return fmt.Errorf("result incomplete: %+v", result)
 	}
 	fmt.Fprintf(out, "selftest: job %s done in %d epochs, embedding hash %s\n",
 		job.ID, result.Epochs, result.EmbeddingHash)
+
+	// Row-range serving: an explicit window must be the corresponding
+	// slice of the full matrix, bit for bit, under the same full hash.
+	var window struct {
+		EmbeddingHash string      `json:"embeddingHash"`
+		RowCount      int         `json:"rowCount"`
+		Embedding     [][]float64 `json:"embedding"`
+	}
+	if err := getJSON(client, baseURL+"/v1/jobs/"+job.ID+"/result/rows/2-5", http.StatusOK, &window); err != nil {
+		return fmt.Errorf("result rows: %w", err)
+	}
+	if window.EmbeddingHash != result.EmbeddingHash || window.RowCount != 3 {
+		return fmt.Errorf("row window metadata: %+v", window)
+	}
+	for i, row := range window.Embedding {
+		if !float64sEqual(row, result.Embedding[2+i]) {
+			return fmt.Errorf("window row %d diverges from the full embedding", 2+i)
+		}
+	}
+
+	// Pagination: walk the range cursor and check it reassembles the full
+	// matrix exactly, page sizes and Link headers included.
+	next := "/v1/jobs/" + job.ID + "/result?embedding=range&offset=0&limit=5"
+	var paged [][]float64
+	for pages := 0; next != ""; pages++ {
+		if pages > 10 {
+			return fmt.Errorf("pagination did not terminate")
+		}
+		var pg struct {
+			EmbeddingHash string `json:"embeddingHash"`
+			RowCount      int    `json:"rowCount"`
+			Range         *struct {
+				Offset int    `json:"offset"`
+				Next   string `json:"next"`
+			} `json:"range"`
+			Embedding [][]float64 `json:"embedding"`
+		}
+		if err := getJSON(client, baseURL+next, http.StatusOK, &pg); err != nil {
+			return fmt.Errorf("page %s: %w", next, err)
+		}
+		if pg.EmbeddingHash != result.EmbeddingHash || pg.Range == nil || pg.Range.Offset != len(paged) {
+			return fmt.Errorf("page metadata at offset %d: %+v", len(paged), pg)
+		}
+		paged = append(paged, pg.Embedding...)
+		next = pg.Range.Next
+	}
+	if len(paged) != result.Nodes {
+		return fmt.Errorf("pagination yielded %d rows, want %d", len(paged), result.Nodes)
+	}
+	for i, row := range paged {
+		if !float64sEqual(row, result.Embedding[i]) {
+			return fmt.Errorf("paged row %d diverges from the full embedding", i)
+		}
+	}
+	fmt.Fprintf(out, "selftest: row window and %d-row pagination match the full embedding\n", len(paged))
 	return nil
+}
+
+func float64sEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func getJSON(client *http.Client, url string, wantCode int, v any) error {

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"seprivgemb/internal/spec"
+)
+
+// FetchMain implements `sepriv fetch`: a thin HTTP client over the result
+// API that retrieves a finished job's embedding — a single explicit row
+// window with -rows lo:hi, or the whole matrix paged through the range
+// cursor — and writes it as TSV (node id then r values per line, the same
+// layout `sepriv -out` produces). Because every page and window response
+// carries the full-matrix embeddingHash, the client checks that all pages
+// it stitched together came from one and the same training run. Returns
+// the process exit code.
+func FetchMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sepriv fetch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8470", "base URL of the job server")
+		jobID   = fs.String("job", "", "job ID to fetch (required)")
+		rows    = fs.String("rows", "", "row window lo:hi — fetch only these embedding rows")
+		page    = fs.Int("page", 1024, "rows per request when paging the full embedding")
+		outPath = fs.String("out", "", "write TSV here instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jobID == "" {
+		fmt.Fprintln(stderr, "sepriv fetch: -job is required")
+		return 2
+	}
+	out := io.Writer(stdout)
+	var finish func() error
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "sepriv fetch: %v\n", err)
+			return 1
+		}
+		bw := bufio.NewWriter(f)
+		out = bw
+		// A failed flush or close must fail the fetch: exiting 0 with a
+		// truncated TSV would defeat the client's integrity contract.
+		finish = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if err := fetch(*addr, *jobID, *rows, *page, out, stderr); err != nil {
+		if finish != nil {
+			finish()
+		}
+		fmt.Fprintf(stderr, "sepriv fetch: %v\n", err)
+		return 1
+	}
+	if finish != nil {
+		if err := finish(); err != nil {
+			fmt.Fprintf(stderr, "sepriv fetch: writing %s: %v\n", *outPath, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// parseRowsFlag parses "-rows lo:hi" as a half-open range [lo, hi).
+func parseRowsFlag(s string) (lo, hi int, err error) {
+	if lo, hi, err = parseRowRange(s, ":"); err != nil {
+		return 0, 0, fmt.Errorf("-rows %q, want lo:hi with 0 <= lo <= hi", s)
+	}
+	return lo, hi, nil
+}
+
+func fetch(addr, jobID, rows string, page int, out, status io.Writer) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := strings.TrimRight(addr, "/")
+	if rows != "" {
+		lo, hi, err := parseRowsFlag(rows)
+		if err != nil {
+			return err
+		}
+		var fr spec.ResultResponse
+		url := fmt.Sprintf("%s/v1/jobs/%s/result/rows/%d-%d", base, jobID, lo, hi)
+		if err := getJSON(client, url, http.StatusOK, &fr); err != nil {
+			return err
+		}
+		fmt.Fprintf(status, "job %s: %dx%d embedding, epochs %d, hash %s; rows [%d, %d)\n",
+			jobID, fr.Nodes, fr.Dim, fr.Epochs, fr.EmbeddingHash, lo, hi)
+		return writeRowsTSV(out, lo, fr.Embedding)
+	}
+	// Page through the whole embedding on the range cursor; the server
+	// never materializes more than one page per response.
+	next := fmt.Sprintf("%s/v1/jobs/%s/result?embedding=range&offset=0&limit=%d", base, jobID, page)
+	hash, fetched := "", 0
+	for next != "" {
+		var fr spec.ResultResponse
+		if err := getJSON(client, next, http.StatusOK, &fr); err != nil {
+			return err
+		}
+		if hash == "" {
+			hash = fr.EmbeddingHash
+			fmt.Fprintf(status, "job %s: %dx%d embedding, epochs %d, hash %s\n",
+				jobID, fr.Nodes, fr.Dim, fr.Epochs, fr.EmbeddingHash)
+		} else if fr.EmbeddingHash != hash {
+			return fmt.Errorf("embedding hash changed mid-pagination (%s then %s): result was replaced between pages",
+				hash, fr.EmbeddingHash)
+		}
+		if fr.Range == nil {
+			return fmt.Errorf("range response carries no range metadata")
+		}
+		if err := writeRowsTSV(out, fr.Range.Offset, fr.Embedding); err != nil {
+			return err
+		}
+		fetched += fr.RowCount
+		if fr.Range.Next == "" {
+			if fetched != fr.Nodes {
+				return fmt.Errorf("pagination ended after %d of %d rows", fetched, fr.Nodes)
+			}
+			break
+		}
+		next = base + fr.Range.Next
+	}
+	fmt.Fprintf(status, "fetched %d rows\n", fetched)
+	return nil
+}
+
+// writeRowsTSV appends rows as TSV, numbering nodes from lo.
+func writeRowsTSV(w io.Writer, lo int, rows [][]float64) error {
+	for i, row := range rows {
+		if _, err := fmt.Fprintf(w, "%d", lo+i); err != nil {
+			return err
+		}
+		for _, v := range row {
+			if _, err := fmt.Fprintf(w, "\t%.6g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

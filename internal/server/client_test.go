@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seprivgemb/internal/service"
+)
+
+// TestFetchMain drives the `sepriv fetch` client against a live server:
+// the paged full fetch and a -rows window must both emit TSV whose rows
+// agree with the embedding the result API serves.
+func TestFetchMain(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	id, full := runTinyJob(t, ts, 31)
+
+	// Full fetch, paged 5 rows at a time.
+	var out, status strings.Builder
+	if code := FetchMain([]string{"-addr", ts.URL, "-job", id, "-page", "5"}, &out, &status); code != 0 {
+		t.Fatalf("fetch exit %d\n%s", code, status.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != full.Nodes {
+		t.Fatalf("fetched %d TSV rows, want %d", len(lines), full.Nodes)
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, fmt.Sprintf("%d\t", i)) {
+			t.Fatalf("row %d mislabeled: %q", i, line)
+		}
+		if got := len(strings.Split(line, "\t")) - 1; got != full.Dim {
+			t.Fatalf("row %d carries %d values, want %d", i, got, full.Dim)
+		}
+	}
+	if !strings.Contains(status.String(), full.EmbeddingHash) {
+		t.Errorf("status output %q does not report the embedding hash", status.String())
+	}
+
+	// Windowed fetch: node ids keep their absolute numbering.
+	out.Reset()
+	status.Reset()
+	if code := FetchMain([]string{"-addr", ts.URL, "-job", id, "-rows", "4:7"}, &out, &status); code != 0 {
+		t.Fatalf("windowed fetch exit %d\n%s", code, status.String())
+	}
+	winLines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(winLines) != 3 {
+		t.Fatalf("windowed fetch emitted %d rows, want 3", len(winLines))
+	}
+	for i, line := range winLines {
+		if line != lines[4+i] {
+			t.Fatalf("window row %d diverges from the full fetch:\n%q\n%q", 4+i, line, lines[4+i])
+		}
+	}
+
+	// Errors: bad window syntax and an unknown job are non-zero exits.
+	if code := FetchMain([]string{"-addr", ts.URL, "-job", id, "-rows", "7:4"}, &out, &status); code == 0 {
+		t.Error("descending -rows accepted")
+	}
+	if code := FetchMain([]string{"-addr", ts.URL, "-job", "jmissing"}, &out, &status); code == 0 {
+		t.Error("unknown job accepted")
+	}
+	if code := FetchMain([]string{"-addr", ts.URL}, &out, &status); code != 2 {
+		t.Error("missing -job accepted")
+	}
+}
+
+// TestFetchMainDetectsReplacedResult: if the result changes between pages
+// (hash mismatch), the client fails loudly rather than stitching rows of
+// two different matrices.
+func TestFetchMainDetectsReplacedResult(t *testing.T) {
+	// A fake server whose second page reports a different hash.
+	mux := http.NewServeMux()
+	page := 0
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		hash := "aaaa"
+		if page > 0 {
+			hash = "bbbb"
+		}
+		next := ""
+		if page == 0 {
+			next = "/v1/jobs/x/result?embedding=range&offset=1&limit=1"
+		}
+		page++
+		fmt.Fprintf(w, `{"nodes":2,"dim":1,"embeddingHash":%q,"rowCount":1,
+			"range":{"offset":%d,"limit":1,"next":%q},"embedding":[[0.5]]}`, hash, page-1, next)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	var out, status strings.Builder
+	if code := FetchMain([]string{"-addr", ts.URL, "-job", "x"}, &out, &status); code == 0 {
+		t.Fatal("mid-pagination hash change went unnoticed")
+	}
+}

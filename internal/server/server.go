@@ -11,13 +11,27 @@
 //	GET    /v1/healthz          liveness
 //	POST   /v1/jobs             submit a JobSpec → 202 {id, status, ...}
 //	GET    /v1/jobs/{id}        job status + live progress
-//	GET    /v1/jobs/{id}/result the trained embedding (409 until done;
-//	                            ?embedding=true inlines the matrix rows)
+//	GET    /v1/jobs/{id}/result result metadata + optionally embedding rows
+//	                            (409 until done; see "Result serving")
+//	GET    /v1/jobs/{id}/result/rows/{lo}-{hi}
+//	                            explicit row window [lo, hi) of the embedding
 //	DELETE /v1/jobs/{id}        cancel → 202
 //
-// Error mapping: malformed or unresolvable specs → 400, unknown job IDs →
-// 404, result-before-done → 409, tenant over quota → 429, queued-cancel
-// (never trained) results → 410, submit after shutdown → 503.
+// Result serving: ?embedding=full|none|range selects how much of the
+// |V|×r matrix is inlined. "range" pages through rows with ?offset= and
+// ?limit= (default 1024 rows), returning rowCount/range metadata and a
+// Link: <...>; rel="next" cursor until the matrix is exhausted. Without
+// an explicit mode, results up to maxInlineFloats values inline in full
+// and larger ones return hash+metadata only — a million-node embedding is
+// paged, never materialized into one response. embeddingHash always
+// covers the FULL matrix regardless of the window served, so any page
+// can be verified against it. The legacy ?embedding=true|1 is kept as an
+// alias for full.
+//
+// Error mapping: malformed or unresolvable specs → 400, unknown job IDs
+// or malformed row windows → 400/404, result-before-done → 409, tenant
+// over quota → 429, queued-cancel (never trained) results → 410, submit
+// after shutdown → 503.
 package server
 
 import (
@@ -25,9 +39,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 
+	"seprivgemb/internal/core"
 	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/service"
 	"seprivgemb/internal/spec"
@@ -52,47 +69,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /v1/jobs/{id}/result/rows/{window}", s.resultRows)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	return mux
 }
 
-// jobResponse is the wire form of a job's observable state.
-type jobResponse struct {
-	ID       string        `json:"id"`
-	Status   string        `json:"status"`
-	Priority int           `json:"priority,omitempty"`
-	Tenant   string        `json:"tenant,omitempty"`
-	Progress *progressInfo `json:"progress,omitempty"`
-}
-
-// progressInfo mirrors core.EpochStats for the latest completed epoch.
-type progressInfo struct {
-	Epoch      int     `json:"epoch"`
-	Loss       float64 `json:"loss"`
-	EpsSpent   float64 `json:"epsSpent"`
-	DeltaSpent float64 `json:"deltaSpent"`
-	ElapsedMs  int64   `json:"elapsedMs"`
-}
-
-// resultResponse is the wire form of a finished job's outcome.
-type resultResponse struct {
-	ID            string      `json:"id"`
-	Status        string      `json:"status"`
-	Stopped       string      `json:"stopped"`
-	Epochs        int         `json:"epochs"`
-	Nodes         int         `json:"nodes"`
-	Dim           int         `json:"dim"`
-	EpsilonSpent  float64     `json:"epsilonSpent"`
-	DeltaSpent    float64     `json:"deltaSpent"`
-	EmbeddingHash string      `json:"embeddingHash"`
-	Embedding     [][]float64 `json:"embedding,omitempty"`
-}
-
-// errorResponse carries every non-2xx body.
-type errorResponse struct {
-	Error  string `json:"error"`
-	Status string `json:"status,omitempty"`
-}
+// The wire shapes live in internal/spec, next to JobSpec, so clients
+// (sepriv fetch, examples, external tooling) decode exactly what the
+// server encodes — the response half of the serving contract. Local
+// aliases keep the handlers readable.
+type (
+	jobResponse    = spec.JobResponse
+	progressInfo   = spec.ProgressInfo
+	resultResponse = spec.ResultResponse
+	rangeInfo      = spec.RangeInfo
+	errorResponse  = spec.ErrorResponse
+)
 
 // EmbeddingHash digests an embedding matrix: FNV-1a over the row-major
 // float64 bits (mathx.FNV64, the repo's one identity-hash primitive),
@@ -101,11 +93,7 @@ type errorResponse struct {
 // (and the cross-transport tests) check they were served the same
 // training run.
 func EmbeddingHash(m *mathx.Matrix) string {
-	h := mathx.NewFNV64()
-	for _, x := range m.Data {
-		h.Word(math.Float64bits(x))
-	}
-	return fmt.Sprintf("%016x", h.Sum())
+	return fmt.Sprintf("%016x", mathx.DigestFloat64s(m.Data))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -190,10 +178,12 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobView(j))
 }
 
-func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+// finishedResult resolves {id} to a job that has finished with a result,
+// writing the 404/409/410/500 responses itself otherwise.
+func (s *Server) finishedResult(w http.ResponseWriter, r *http.Request) (*service.Job, *core.Result, bool) {
 	j, ok := s.lookup(w, r)
 	if !ok {
-		return
+		return nil, nil, false
 	}
 	select {
 	case <-j.Done():
@@ -202,7 +192,7 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 			Error:  "job has not finished; poll GET /v1/jobs/{id}",
 			Status: j.Status().String(),
 		})
-		return
+		return nil, nil, false
 	}
 	res, err := j.Result()
 	if err != nil {
@@ -213,31 +203,221 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 				Error:  "job was canceled before training started",
 				Status: j.Status().String(),
 			})
-			return
+			return nil, nil, false
 		}
 		writeError(w, http.StatusInternalServerError, err.Error())
+		return nil, nil, false
+	}
+	return j, res, true
+}
+
+// resultMeta builds the window-independent part of a result response.
+func (s *Server) resultMeta(j *service.Job, res *core.Result) resultResponse {
+	emb := res.Embedding()
+	resp := resultResponse{
+		ID:           j.ID(),
+		Status:       j.Status().String(),
+		Stopped:      res.Stopped.String(),
+		Epochs:       res.Epochs,
+		Nodes:        emb.Rows,
+		Dim:          emb.Cols,
+		EpsilonSpent: res.EpsilonSpent,
+		DeltaSpent:   res.DeltaSpent,
+	}
+	if h, ok := j.EmbeddingHash(); ok {
+		resp.EmbeddingHash = fmt.Sprintf("%016x", h)
+	}
+	return resp
+}
+
+// Result-inlining policy.
+const (
+	// maxInlineFloats is the documented cutoff for the default embedding
+	// mode: a result whose |V|×r exceeds this many values (≈ 8 MiB of
+	// float64s, far more as JSON) is served hash+metadata only unless the
+	// caller explicitly asks for embedding=full or pages with
+	// embedding=range. This is what keeps a GET on a million-node result
+	// from materializing — and shipping — the whole matrix by accident.
+	maxInlineFloats = 1 << 20
+	// defaultPageRows is the page size when embedding=range is requested
+	// without an explicit limit.
+	defaultPageRows = 1024
+)
+
+// embedMode is the resolved embedding-inlining choice of one request.
+type embedMode int
+
+const (
+	embedNone embedMode = iota
+	embedFull
+	embedRange
+)
+
+// parseEmbedQuery resolves the ?embedding/?offset/?limit query of a
+// result GET against the matrix shape. Absent an explicit mode, offset or
+// limit select range, and otherwise the size cutoff picks full vs none.
+func parseEmbedQuery(q url.Values, nodes, dim int) (mode embedMode, lo, hi, limit int, err error) {
+	queryInt := func(key string, def int) (int, error) {
+		raw := q.Get(key)
+		if raw == "" {
+			return def, nil
+		}
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return 0, fmt.Errorf("query %s=%q is not an integer", key, raw)
+		}
+		return n, nil
+	}
+	switch q.Get("embedding") {
+	case "full", "true", "1":
+		mode = embedFull
+	case "none", "false", "0":
+		mode = embedNone
+	case "range":
+		mode = embedRange
+	case "":
+		switch {
+		case q.Has("offset") || q.Has("limit"):
+			mode = embedRange
+		case nodes*dim <= maxInlineFloats:
+			mode = embedFull
+		default:
+			mode = embedNone
+		}
+	default:
+		return 0, 0, 0, 0, fmt.Errorf("query embedding=%q, want full, none, or range", q.Get("embedding"))
+	}
+	if mode == embedFull {
+		return mode, 0, nodes, nodes, nil
+	}
+	if mode == embedNone {
+		return mode, 0, 0, 0, nil
+	}
+	offset, err := queryInt("offset", 0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if limit, err = queryInt("limit", defaultPageRows); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if offset < 0 || limit < 1 {
+		return 0, 0, 0, 0, fmt.Errorf("query offset=%d limit=%d, want offset >= 0 and limit >= 1", offset, limit)
+	}
+	// Past-the-end offsets clamp to an empty final page rather than
+	// erroring: a client paging by cursor never constructs one, but a
+	// client computing offsets should not 400 on the boundary.
+	lo, hi = offset, offset+limit
+	if lo > nodes {
+		lo = nodes
+	}
+	if hi > nodes {
+		hi = nodes
+	}
+	return mode, lo, hi, limit, nil
+}
+
+// embeddingRows converts a matrix to the wire row-slice form.
+func embeddingRows(m *mathx.Matrix) [][]float64 {
+	rows := make([][]float64, m.Rows)
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	return rows
+}
+
+// window serves rows [lo, hi) of a finished job's embedding through the
+// service's row-range path (artifact-indexed decode when available,
+// in-memory view otherwise).
+func (s *Server) window(w http.ResponseWriter, j *service.Job, lo, hi int) (*core.EmbeddingWindow, bool) {
+	win, err := s.svc.ResultRows(j.ID(), lo, hi)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return nil, false
+	}
+	return win, true
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	j, res, ok := s.finishedResult(w, r)
+	if !ok {
 		return
 	}
 	emb := res.Embedding()
-	resp := resultResponse{
-		ID:            j.ID(),
-		Status:        j.Status().String(),
-		Stopped:       res.Stopped.String(),
-		Epochs:        res.Epochs,
-		Nodes:         emb.Rows,
-		Dim:           emb.Cols,
-		EpsilonSpent:  res.EpsilonSpent,
-		DeltaSpent:    res.DeltaSpent,
-		EmbeddingHash: EmbeddingHash(emb),
+	mode, lo, hi, limit, err := parseEmbedQuery(r.URL.Query(), emb.Rows, emb.Cols)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	if q := r.URL.Query().Get("embedding"); q == "true" || q == "1" {
-		rows := make([][]float64, emb.Rows)
-		for i := range rows {
-			rows[i] = emb.Row(i)
+	resp := s.resultMeta(j, res)
+	switch mode {
+	case embedFull:
+		resp.Embedding = embeddingRows(emb)
+		resp.RowCount = emb.Rows
+	case embedRange:
+		win, ok := s.window(w, j, lo, hi)
+		if !ok {
+			return
 		}
-		resp.Embedding = rows
+		resp.Embedding = embeddingRows(win.Rows)
+		resp.RowCount = hi - lo
+		rng := &rangeInfo{Offset: lo, Limit: limit}
+		if hi < emb.Rows {
+			rng.Next = fmt.Sprintf("/v1/jobs/%s/result?embedding=range&offset=%d&limit=%d", j.ID(), hi, limit)
+			w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", rng.Next, "next"))
+		}
+		resp.Range = rng
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// resultRows serves GET /v1/jobs/{id}/result/rows/{lo}-{hi}: the explicit
+// row-window form of the result API, returning rows [lo, hi) with the
+// usual metadata and the full-matrix embeddingHash.
+func (s *Server) resultRows(w http.ResponseWriter, r *http.Request) {
+	j, res, ok := s.finishedResult(w, r)
+	if !ok {
+		return
+	}
+	lo, hi, err := parseWindow(r.PathValue("window"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	win, ok := s.window(w, j, lo, hi)
+	if !ok {
+		return
+	}
+	resp := s.resultMeta(j, res)
+	resp.Embedding = embeddingRows(win.Rows)
+	resp.RowCount = hi - lo
+	resp.Range = &rangeInfo{Offset: lo, Limit: hi - lo}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseWindow parses the "{lo}-{hi}" path segment as a half-open row
+// range [lo, hi).
+func parseWindow(s string) (lo, hi int, err error) {
+	if lo, hi, err = parseRowRange(s, "-"); err != nil {
+		return 0, 0, fmt.Errorf("row window %q, want {lo}-{hi} with 0 <= lo <= hi", s)
+	}
+	return lo, hi, nil
+}
+
+// parseRowRange parses "lo<sep>hi" as a half-open range with
+// 0 <= lo <= hi — one parser behind both the URL path form ("-") and the
+// CLI flag form (":"), so their validation cannot drift.
+func parseRowRange(s, sep string) (lo, hi int, err error) {
+	a, b, ok := strings.Cut(s, sep)
+	if ok {
+		var errLo, errHi error
+		lo, errLo = strconv.Atoi(a)
+		hi, errHi = strconv.Atoi(b)
+		ok = errLo == nil && errHi == nil && lo >= 0 && hi >= lo
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("malformed row range %q", s)
+	}
+	return lo, hi, nil
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {

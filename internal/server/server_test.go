@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -420,5 +421,234 @@ func TestSelftest(t *testing.T) {
 	var buf strings.Builder
 	if err := Selftest(ts.URL, &buf); err != nil {
 		t.Fatalf("selftest: %v\n%s", err, buf.String())
+	}
+}
+
+// fetchResult GETs a result URL and decodes the response.
+func fetchResult(t *testing.T, url string) (int, http.Header, resultResponse) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr resultResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, resp.Header, rr
+}
+
+// runTinyJob submits the tiny spec and returns its finished job ID plus
+// the full inlined embedding.
+func runTinyJob(t *testing.T, ts *httptest.Server, seed int) (string, resultResponse) {
+	t.Helper()
+	resp, jr := postSpec(t, ts, tinySpecJSON(seed))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	pollDone(t, ts, jr.ID)
+	code, _, full := fetchResult(t, ts.URL+"/v1/jobs/"+jr.ID+"/result?embedding=full")
+	if code != http.StatusOK {
+		t.Fatalf("full result: HTTP %d", code)
+	}
+	return jr.ID, full
+}
+
+// TestResultEmbeddingModes pins the ?embedding= contract: explicit full,
+// none, the legacy true/1 aliases, the small-result default, and the 400
+// on an unknown mode.
+func TestResultEmbeddingModes(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	id, full := runTinyJob(t, ts, 21)
+	if full.RowCount != full.Nodes || len(full.Embedding) != full.Nodes {
+		t.Fatalf("embedding=full: rowCount %d of %d nodes", full.RowCount, full.Nodes)
+	}
+
+	code, _, none := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=none")
+	if code != http.StatusOK || none.RowCount != 0 || none.Embedding != nil {
+		t.Fatalf("embedding=none: HTTP %d, %d rows inlined", code, len(none.Embedding))
+	}
+	if none.EmbeddingHash != full.EmbeddingHash || none.Nodes != full.Nodes {
+		t.Fatal("embedding=none dropped metadata")
+	}
+
+	// This 12x8 result is far below maxInlineFloats, so the default mode
+	// inlines it in full (the large-result default is pinned in
+	// TestParseEmbedQueryDefaults, where shape needs no training run).
+	code, _, def := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result")
+	if code != http.StatusOK || def.RowCount != full.Nodes {
+		t.Fatalf("default mode on a small result: HTTP %d rowCount %d", code, def.RowCount)
+	}
+
+	// Legacy alias.
+	code, _, legacy := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=true")
+	if code != http.StatusOK || legacy.RowCount != full.Nodes {
+		t.Fatalf("embedding=true alias: HTTP %d rowCount %d", code, legacy.RowCount)
+	}
+
+	if code, _, _ = fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=sideways"); code != http.StatusBadRequest {
+		t.Fatalf("embedding=sideways: HTTP %d, want 400", code)
+	}
+	if code, _, _ = fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=range&offset=x"); code != http.StatusBadRequest {
+		t.Fatalf("offset=x: HTTP %d, want 400", code)
+	}
+	if code, _, _ = fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=range&limit=0"); code != http.StatusBadRequest {
+		t.Fatalf("limit=0: HTTP %d, want 400", code)
+	}
+}
+
+// TestResultPagination walks the range cursor and checks the pages
+// reassemble the full embedding exactly, with correct rowCount/range
+// metadata, Link headers on every non-final page, and the full-matrix
+// hash on every page.
+func TestResultPagination(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	id, full := runTinyJob(t, ts, 22)
+
+	var paged [][]float64
+	next := "/v1/jobs/" + id + "/result?embedding=range&offset=0&limit=5"
+	for page := 0; next != ""; page++ {
+		if page > 5 {
+			t.Fatal("pagination did not terminate")
+		}
+		code, hdr, pg := fetchResult(t, ts.URL+next)
+		if code != http.StatusOK {
+			t.Fatalf("page %d: HTTP %d", page, code)
+		}
+		if pg.EmbeddingHash != full.EmbeddingHash {
+			t.Fatalf("page %d: hash %s, want full-matrix %s", page, pg.EmbeddingHash, full.EmbeddingHash)
+		}
+		if pg.Range == nil || pg.Range.Offset != len(paged) || pg.Range.Limit != 5 {
+			t.Fatalf("page %d: range %+v", page, pg.Range)
+		}
+		if pg.RowCount != len(pg.Embedding) {
+			t.Fatalf("page %d: rowCount %d but %d rows inlined", page, pg.RowCount, len(pg.Embedding))
+		}
+		paged = append(paged, pg.Embedding...)
+		link := hdr.Get("Link")
+		if pg.Range.Next != "" {
+			if link == "" || !strings.Contains(link, pg.Range.Next) || !strings.Contains(link, `rel="next"`) {
+				t.Fatalf("page %d: Link header %q does not carry cursor %q", page, link, pg.Range.Next)
+			}
+		} else if link != "" {
+			t.Fatalf("final page carries Link header %q", link)
+		}
+		next = pg.Range.Next
+	}
+	if len(paged) != full.Nodes {
+		t.Fatalf("pagination yielded %d of %d rows", len(paged), full.Nodes)
+	}
+	for i := range paged {
+		if !float64sEqual(paged[i], full.Embedding[i]) {
+			t.Fatalf("paged row %d diverges from the full embedding", i)
+		}
+	}
+
+	// A past-the-end offset is an empty final page, not an error.
+	code, hdr, tail := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=range&offset=500&limit=5")
+	if code != http.StatusOK || tail.RowCount != 0 || tail.Range == nil || tail.Range.Next != "" || hdr.Get("Link") != "" {
+		t.Fatalf("past-the-end page: HTTP %d %+v", code, tail)
+	}
+}
+
+// TestResultRowsEndpoint pins GET /v1/jobs/{id}/result/rows/{lo}-{hi}.
+func TestResultRowsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	id, full := runTinyJob(t, ts, 23)
+
+	code, _, win := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result/rows/3-7")
+	if code != http.StatusOK {
+		t.Fatalf("rows/3-7: HTTP %d", code)
+	}
+	if win.RowCount != 4 || win.Range == nil || win.Range.Offset != 3 || win.Range.Limit != 4 {
+		t.Fatalf("rows/3-7 metadata: %+v", win)
+	}
+	if win.EmbeddingHash != full.EmbeddingHash {
+		t.Fatal("row window hash does not cover the full matrix")
+	}
+	for i, row := range win.Embedding {
+		if !float64sEqual(row, full.Embedding[3+i]) {
+			t.Fatalf("window row %d diverges", 3+i)
+		}
+	}
+
+	for _, bad := range []string{"7-3", "0-13", "x-y", "-1-4", "3", "3-4-5"} {
+		code, _, _ := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result/rows/"+bad)
+		if code != http.StatusBadRequest {
+			t.Errorf("rows/%s: HTTP %d, want 400", bad, code)
+		}
+	}
+}
+
+// TestResultRowsServedFromArtifactStore: with an artifact directory, the
+// windowed path decodes from disk through the row index — and still
+// matches the in-memory result bit for bit.
+func TestResultRowsServedFromArtifactStore(t *testing.T) {
+	ts, svc := newTestServer(t, service.Options{MaxWorkers: 2, ArtifactDir: t.TempDir()})
+	id, full := runTinyJob(t, ts, 24)
+
+	code, _, win := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result/rows/2-9")
+	if code != http.StatusOK || win.RowCount != 7 {
+		t.Fatalf("rows/2-9: HTTP %d %+v", code, win)
+	}
+	for i, row := range win.Embedding {
+		if !float64sEqual(row, full.Embedding[2+i]) {
+			t.Fatalf("artifact-backed window row %d diverges", 2+i)
+		}
+	}
+	// The Go facade's window agrees, fresh from the artifact index.
+	w, err := svc.ResultRows(id, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FullHash == 0 || fmt.Sprintf("%016x", w.FullHash) != full.EmbeddingHash {
+		t.Fatalf("ResultRows full hash %016x, want %s", w.FullHash, full.EmbeddingHash)
+	}
+}
+
+// TestParseEmbedQueryDefaults pins the documented inlining policy without
+// needing a large training run: above the cutoff the default is
+// hash+metadata only; offset/limit alone select range.
+func TestParseEmbedQueryDefaults(t *testing.T) {
+	parse := func(t *testing.T, raw string, nodes, dim int) (embedMode, int, int, int) {
+		t.Helper()
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode, lo, hi, limit, err := parseEmbedQuery(q, nodes, dim)
+		if err != nil {
+			t.Fatalf("parseEmbedQuery(%q): %v", raw, err)
+		}
+		return mode, lo, hi, limit
+	}
+
+	// Small result: default inlines in full.
+	if mode, lo, hi, _ := parse(t, "", 100, 8); mode != embedFull || lo != 0 || hi != 100 {
+		t.Errorf("small default: mode %v [%d,%d)", mode, lo, hi)
+	}
+	// A million-node, 128-dim result is far over maxInlineFloats: the
+	// default serves hash+metadata only — the PR 4 behavior of inlining
+	// on request only survives via explicit full.
+	if mode, _, _, _ := parse(t, "", 1<<20, 128); mode != embedNone {
+		t.Errorf("large default: mode %v, want embedNone", mode)
+	}
+	if mode, _, hi, _ := parse(t, "embedding=full", 1<<20, 128); mode != embedFull || hi != 1<<20 {
+		t.Errorf("large explicit full: mode %v hi %d", mode, hi)
+	}
+	// offset/limit imply range without an explicit mode.
+	if mode, lo, hi, limit := parse(t, "offset=10&limit=20", 100, 8); mode != embedRange || lo != 10 || hi != 30 || limit != 20 {
+		t.Errorf("offset/limit imply range: mode %v [%d,%d) limit %d", mode, lo, hi, limit)
+	}
+	// range without limit takes the default page size.
+	if _, lo, hi, limit := parse(t, "embedding=range", 1<<20, 128); lo != 0 || hi != defaultPageRows || limit != defaultPageRows {
+		t.Errorf("default page: [%d,%d) limit %d", lo, hi, limit)
+	}
+	// The final page clamps to the matrix.
+	if _, lo, hi, _ := parse(t, "embedding=range&offset=90&limit=20", 100, 8); lo != 90 || hi != 100 {
+		t.Errorf("clamped page: [%d,%d)", lo, hi)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/proximity"
 	"seprivgemb/internal/spec"
 )
@@ -300,6 +301,14 @@ type Job struct {
 	// res/err are written once, before done is closed.
 	res *core.Result
 	err error
+
+	// hashOnce caches the full-embedding digest: clients paging through a
+	// large result re-fetch the hash with every window, and recomputing
+	// an O(|V|·r) FNV per page would turn pagination's memory win into a
+	// CPU loss.
+	hashOnce sync.Once
+	hashVal  uint64
+	hashOK   bool
 }
 
 // ID returns the job's stable identifier: a pure function of its
@@ -374,6 +383,26 @@ func (j *Job) Result() (*core.Result, error) {
 	}
 }
 
+// EmbeddingHash returns the FNV-1a digest of the job's full embedding
+// (mathx.DigestFloat64s over the row-major float64 bits of Win), false if
+// the job has not finished or finished without a result. The digest is
+// computed once per job and cached: every row window served from this job
+// reports it, so a client can verify any page against the full matrix.
+func (j *Job) EmbeddingHash() (uint64, bool) {
+	select {
+	case <-j.done:
+	default:
+		return 0, false
+	}
+	j.hashOnce.Do(func() {
+		if j.res != nil && j.res.Model != nil {
+			j.hashVal = mathx.DigestFloat64s(j.res.Model.Win.Data)
+			j.hashOK = true
+		}
+	})
+	return j.hashVal, j.hashOK
+}
+
 // JobID returns the stable job identifier for a deduplication key (the ID
 // a submission with that key would receive).
 func JobID(key experiments.ResultKey) string {
@@ -390,6 +419,59 @@ func (s *Service) JobByID(id string) (*Job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.byID[id]
 	return j, ok
+}
+
+// ResultRows returns rows [lo, hi) of a finished job's embedding — the
+// row-range serving path. With an artifact store configured (and the job
+// completed, so its artifact is authoritative) the window is decoded
+// straight from the persisted artifact through its row-offset index, at
+// O(window·r) memory regardless of |V|; otherwise it falls back to an
+// O(1) view of the in-memory result. Either way the window carries the
+// full-embedding digest, so callers can verify a page against the hash
+// the whole-result API reports. The window's matrix may alias the shared
+// Result: treat it as read-only.
+func (s *Service) ResultRows(id string, lo, hi int) (*core.EmbeddingWindow, error) {
+	j, ok := s.JobByID(id)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	default:
+		return nil, fmt.Errorf("service: job %s has not finished", id)
+	}
+	res, err := j.Result()
+	if err != nil || res == nil {
+		if err == nil {
+			err = fmt.Errorf("service: job %s finished without a result", id)
+		}
+		return nil, err
+	}
+	// A canceled partial is never persisted, and a stale artifact under
+	// the same key (e.g. a completed run from a previous process) would
+	// serve rows from a DIFFERENT matrix than the one this job reports —
+	// so the disk path is reserved for completed runs.
+	if s.store != nil && res.Stopped != core.StopCanceled {
+		if w, err := s.store.LoadRows(j.key, lo, hi); err == nil {
+			return w, nil
+		}
+		// Any store miss (no artifact, legacy format without an index,
+		// corruption) falls back to memory; the in-memory result is
+		// authoritative and the window contract is identical.
+	}
+	m, err := res.Rows(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	hash, _ := j.EmbeddingHash()
+	emb := res.Embedding()
+	return &core.EmbeddingWindow{
+		Lo: lo, Hi: hi,
+		TotalRows: emb.Rows,
+		Dim:       emb.Cols,
+		Rows:      m,
+		FullHash:  hash,
+	}, nil
 }
 
 // Submit enqueues a training run at default priority with no tenant and

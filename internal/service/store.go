@@ -16,14 +16,27 @@ import (
 
 // artifactVersion identifies the on-disk result layout; bump on any field
 // change so a stale artifact is retrained, never misread.
-const artifactVersion = 1
+//
+// v1 (PR 4): one shared gob stream — header, then chunked row blocks in
+// the v2 checkpoint framing. Still readable (full decode only).
+// v3 (PR 5): the indexed frame stream of core/rowindex.go — the same
+// 64 KiB blocks, now independently decodable behind a row-offset index,
+// so LoadRows serves any row window at O(window) memory; the header
+// additionally records the full-embedding digest. (v2 was never an
+// artifact version; the number tracks the checkpoint format it shares
+// framing with.)
+const artifactVersion = 3
 
-// artifactHeader is the gob head of a persisted training result: the full
-// deduplication key (re-verified on load — the filename hash is a lookup
-// aid, not an identity), the matrix shape, and every scalar Result field.
-// The weight matrices follow as chunked row blocks, reusing the v2
-// checkpoint framing (core.EncodeFloat64Chunks), so encoding a
-// million-node result never buffers a dense copy inside gob.
+// artifactVersionV1 is the PR 4 layout, readable for compatibility.
+const artifactVersionV1 = 1
+
+// artifactHeader is the head frame of a persisted training result: the
+// full deduplication key (re-verified on load — the filename hash is a
+// lookup aid, not an identity), the matrix shape, every scalar Result
+// field, and (v3) the FNV-1a digest of the full embedding so a row window
+// can be verified against the matrix it was cut from. The weight matrices
+// follow as chunked row blocks, so encoding a million-node result never
+// buffers a dense copy inside gob.
 type artifactHeader struct {
 	Version          int
 	GraphFingerprint uint64
@@ -36,6 +49,9 @@ type artifactHeader struct {
 	EpsilonSpent     float64
 	DeltaSpent       float64
 	LossHistory      []float64
+	// EmbeddingHash is mathx.DigestFloat64s over the full Win (v3 only;
+	// zero in v1 artifacts, whose gob stream predates the field).
+	EmbeddingHash uint64
 }
 
 // Store persists completed training results under one directory, so a
@@ -101,7 +117,10 @@ func (st *Store) Save(key experiments.ResultKey, res *core.Result) error {
 }
 
 func writeArtifact(w io.Writer, key experiments.ResultKey, res *core.Result) error {
-	enc := gob.NewEncoder(w)
+	fw := core.NewFrameWriter(w)
+	if err := fw.WriteStreamMagic(); err != nil {
+		return err
+	}
 	hdr := artifactHeader{
 		Version:          artifactVersion,
 		GraphFingerprint: key.Graph,
@@ -115,14 +134,12 @@ func writeArtifact(w io.Writer, key experiments.ResultKey, res *core.Result) err
 		EpsilonSpent:     res.EpsilonSpent,
 		DeltaSpent:       res.DeltaSpent,
 		LossHistory:      res.LossHistory,
+		EmbeddingHash:    mathx.DigestFloat64s(res.Model.Win.Data),
 	}
-	if err := enc.Encode(&hdr); err != nil {
+	if _, err := fw.WriteFrame(&hdr); err != nil {
 		return err
 	}
-	if err := core.EncodeFloat64Chunks(enc, res.Model.Win.Data); err != nil {
-		return err
-	}
-	return core.EncodeFloat64Chunks(enc, res.Model.Wout.Data)
+	return core.WriteIndexedMatrices(fw, hdr.Nodes, hdr.Dim, res.Model.Win.Data, res.Model.Wout.Data)
 }
 
 // Load retrieves the persisted result for key, reporting false on any
@@ -142,29 +159,21 @@ func (st *Store) Load(key experiments.ResultKey) (*core.Result, bool) {
 	return res, true
 }
 
-func readArtifact(r io.Reader, key experiments.ResultKey) (*core.Result, error) {
-	dec := gob.NewDecoder(r)
-	var hdr artifactHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, err
-	}
+// checkHeader validates an artifact header against the requested key and
+// the version the surrounding framing implies.
+func checkHeader(hdr *artifactHeader, key experiments.ResultKey, wantVersion int) error {
 	switch {
-	case hdr.Version != artifactVersion:
-		return nil, fmt.Errorf("artifact version %d, want %d", hdr.Version, artifactVersion)
+	case hdr.Version != wantVersion:
+		return fmt.Errorf("artifact version %d, want %d", hdr.Version, wantVersion)
 	case hdr.GraphFingerprint != key.Graph || hdr.Proximity != key.Proximity || hdr.ConfigHash != key.Config:
-		return nil, fmt.Errorf("artifact key mismatch")
+		return fmt.Errorf("artifact key mismatch")
 	case hdr.Nodes < 1 || hdr.Dim < 1 || hdr.Nodes > int(^uint(0)>>1)/hdr.Dim:
-		return nil, fmt.Errorf("artifact claims impossible shape %dx%d", hdr.Nodes, hdr.Dim)
+		return fmt.Errorf("artifact claims impossible shape %dx%d", hdr.Nodes, hdr.Dim)
 	}
-	total := hdr.Nodes * hdr.Dim
-	win, err := core.DecodeFloat64Chunks(dec, total)
-	if err != nil {
-		return nil, err
-	}
-	wout, err := core.DecodeFloat64Chunks(dec, total)
-	if err != nil {
-		return nil, err
-	}
+	return nil
+}
+
+func (hdr *artifactHeader) result(win, wout []float64) *core.Result {
 	return &core.Result{
 		Model: &skipgram.Model{
 			Dim:  hdr.Dim,
@@ -177,5 +186,91 @@ func readArtifact(r io.Reader, key experiments.ResultKey) (*core.Result, error) 
 		EpsilonSpent:    hdr.EpsilonSpent,
 		DeltaSpent:      hdr.DeltaSpent,
 		LossHistory:     hdr.LossHistory,
+	}
+}
+
+func readArtifact(r io.Reader, key experiments.ResultKey) (*core.Result, error) {
+	indexed, cr, err := core.DetectIndexed(r)
+	if err != nil {
+		return nil, err
+	}
+	var hdr artifactHeader
+	if indexed {
+		if err := core.ReadFrameSeq(cr, &hdr); err != nil {
+			return nil, err
+		}
+		if err := checkHeader(&hdr, key, artifactVersion); err != nil {
+			return nil, err
+		}
+		win, wout, err := core.ReadIndexedMatricesSeq(cr, hdr.Nodes, hdr.Dim)
+		if err != nil {
+			return nil, err
+		}
+		return hdr.result(win, wout), nil
+	}
+	// Legacy v1: one shared gob stream of header then chunked blocks.
+	dec := gob.NewDecoder(cr)
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, err
+	}
+	if err := checkHeader(&hdr, key, artifactVersionV1); err != nil {
+		return nil, err
+	}
+	total := hdr.Nodes * hdr.Dim
+	win, err := core.DecodeFloat64Chunks(dec, total)
+	if err != nil {
+		return nil, err
+	}
+	wout, err := core.DecodeFloat64Chunks(dec, total)
+	if err != nil {
+		return nil, err
+	}
+	return hdr.result(win, wout), nil
+}
+
+// LoadRows decodes only rows [lo, hi) of the persisted embedding for key,
+// seeking through the artifact's row-offset index so memory and I/O are
+// O(window·r) no matter how many nodes the full matrix holds — the
+// serving path for partial embeddings of million-node results. Unlike
+// Load, failures are returned (not folded to a bool): the caller is
+// serving a read, not deciding whether to retrain, so "no artifact",
+// "legacy artifact without an index" (core.ErrNoRowIndex), "bad window",
+// and "corrupt index" all deserve distinct reports.
+func (st *Store) LoadRows(key experiments.ResultKey, lo, hi int) (*core.EmbeddingWindow, error) {
+	f, err := os.Open(st.path(key))
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
+	}
+	size := fi.Size()
+	ix, err := core.ReadRowIndex(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
+	}
+	var hdr artifactHeader
+	if err := core.ReadFrameAt(f, 8, size, &hdr); err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: reading header: %w", JobID(key), err)
+	}
+	if err := checkHeader(&hdr, key, artifactVersion); err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %v", JobID(key), err)
+	}
+	if hdr.Nodes != ix.Rows || hdr.Dim != ix.Cols {
+		return nil, fmt.Errorf("service: artifact for job %s: header shape %dx%d disagrees with index %dx%d",
+			JobID(key), hdr.Nodes, hdr.Dim, ix.Rows, ix.Cols)
+	}
+	m, err := ix.DecodeRows(f, ix.Win, size, lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
+	}
+	return &core.EmbeddingWindow{
+		Lo: lo, Hi: hi,
+		TotalRows: hdr.Nodes,
+		Dim:       hdr.Dim,
+		Rows:      m,
+		FullHash:  hdr.EmbeddingHash,
 	}, nil
 }

@@ -1,0 +1,270 @@
+package service
+
+import (
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/experiments"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/skipgram"
+	"seprivgemb/internal/xrand"
+)
+
+// fakeResult builds a deterministic completed result of the given shape.
+func fakeResult(nodes, dim int) *core.Result {
+	rng := xrand.New(7)
+	win := mathx.NewMatrix(nodes, dim)
+	wout := mathx.NewMatrix(nodes, dim)
+	for i := range win.Data {
+		win.Data[i] = rng.Float64() - 0.5
+		wout.Data[i] = rng.Normal()
+	}
+	return &core.Result{
+		Model:        &skipgram.Model{Dim: dim, Win: win, Wout: wout},
+		Epochs:       9,
+		Stopped:      core.StopCompleted,
+		EpsilonSpent: 1.25,
+		DeltaSpent:   1e-6,
+		LossHistory:  []float64{3, 2, 1},
+	}
+}
+
+func storeKey(n uint64) experiments.ResultKey {
+	return experiments.ResultKey{Graph: 0x1111 + n, Proximity: "degree", Config: 0x2222 + n}
+}
+
+// TestStoreRoundTripAndRows pins the v3 artifact: a full Load reproduces
+// the result bit-exactly, and LoadRows of every probed window equals the
+// corresponding rows of the full matrix, under the recorded full hash.
+func TestStoreRoundTripAndRows(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := storeKey(1)
+	res := fakeResult(1000, 17)
+	if err := st.Save(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Load(key)
+	if !ok {
+		t.Fatal("Load missed a just-saved artifact")
+	}
+	if !reflect.DeepEqual(res.Model.Win.Data, got.Model.Win.Data) ||
+		!reflect.DeepEqual(res.Model.Wout.Data, got.Model.Wout.Data) ||
+		got.Epochs != res.Epochs || got.EpsilonSpent != res.EpsilonSpent {
+		t.Fatal("round trip changed the result")
+	}
+
+	wantHash := mathx.DigestFloat64s(res.Model.Win.Data)
+	for _, w := range [][2]int{{0, 1000}, {0, 1}, {999, 1000}, {100, 400}, {500, 500}} {
+		lo, hi := w[0], w[1]
+		win, err := st.LoadRows(key, lo, hi)
+		if err != nil {
+			t.Fatalf("LoadRows(%d, %d): %v", lo, hi, err)
+		}
+		if win.TotalRows != 1000 || win.Dim != 17 || win.FullHash != wantHash {
+			t.Fatalf("LoadRows(%d, %d) metadata %+v", lo, hi, win)
+		}
+		want := res.Model.Win.Data[lo*17 : hi*17]
+		if !reflect.DeepEqual(win.Rows.Data, append([]float64{}, want...)) {
+			t.Errorf("LoadRows(%d, %d) diverges from the full matrix", lo, hi)
+		}
+	}
+
+	// Windows a serving layer must refuse.
+	for _, w := range [][2]int{{-1, 5}, {5, 3}, {0, 1001}} {
+		if _, err := st.LoadRows(key, w[0], w[1]); err == nil {
+			t.Errorf("LoadRows(%d, %d) accepted", w[0], w[1])
+		}
+	}
+	// A key with no artifact is an error, not a zero window.
+	if _, err := st.LoadRows(storeKey(99), 0, 1); err == nil {
+		t.Error("LoadRows of an absent artifact accepted")
+	}
+}
+
+// legacyV1Header replicates the PR 4 artifact header, which predates the
+// EmbeddingHash field. Gob matches struct fields by name, so writing this
+// produces exactly what an old binary would have written.
+type legacyV1Header struct {
+	Version          int
+	GraphFingerprint uint64
+	Proximity        string
+	ConfigHash       uint64
+	Nodes, Dim       int
+	Epochs           int
+	Stopped          int
+	StoppedByBudget  bool
+	EpsilonSpent     float64
+	DeltaSpent       float64
+	LossHistory      []float64
+}
+
+// writeLegacyV1Artifact writes an artifact in the PR 4 layout: one shared
+// gob stream — header, then chunked blocks.
+func writeLegacyV1Artifact(t *testing.T, st *Store, key experiments.ResultKey, res *core.Result) {
+	t.Helper()
+	f, err := os.Create(st.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := gob.NewEncoder(f)
+	hdr := legacyV1Header{
+		Version:          artifactVersionV1,
+		GraphFingerprint: key.Graph,
+		Proximity:        key.Proximity,
+		ConfigHash:       key.Config,
+		Nodes:            res.Model.Win.Rows,
+		Dim:              res.Model.Dim,
+		Epochs:           res.Epochs,
+		Stopped:          int(res.Stopped),
+		EpsilonSpent:     res.EpsilonSpent,
+		DeltaSpent:       res.DeltaSpent,
+		LossHistory:      res.LossHistory,
+	}
+	if err := enc.Encode(&hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.EncodeFloat64Chunks(enc, res.Model.Win.Data); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.EncodeFloat64Chunks(enc, res.Model.Wout.Data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreLegacyV1Compat: v1 artifacts written by PR 4 still fully load,
+// and a row-range request on one reports ErrNoRowIndex — cleanly telling
+// "old format" apart from corruption.
+func TestStoreLegacyV1Compat(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := storeKey(2)
+	res := fakeResult(300, 8)
+	writeLegacyV1Artifact(t, st, key, res)
+
+	got, ok := st.Load(key)
+	if !ok {
+		t.Fatal("legacy v1 artifact did not load")
+	}
+	if !reflect.DeepEqual(res.Model.Win.Data, got.Model.Win.Data) ||
+		!reflect.DeepEqual(res.Model.Wout.Data, got.Model.Wout.Data) ||
+		got.Epochs != res.Epochs {
+		t.Fatal("legacy v1 decode changed the result")
+	}
+
+	if _, err := st.LoadRows(key, 0, 10); !errors.Is(err, core.ErrNoRowIndex) {
+		t.Errorf("LoadRows on a v1 artifact: err = %v, want ErrNoRowIndex", err)
+	}
+}
+
+// TestStoreRejectsCorruptArtifacts: a damaged index or truncated file is
+// a loud error on the windowed path and a clean miss (retrain) on Load —
+// never a wrong answer.
+func TestStoreRejectsCorruptArtifacts(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := storeKey(3)
+	if err := st.Save(key, fakeResult(200, 16)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(st.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(t *testing.T, mutate func([]byte) []byte) {
+		t.Helper()
+		bad := mutate(append([]byte{}, raw...))
+		if err := os.WriteFile(st.path(key), bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.Load(key); ok {
+			t.Error("Load accepted a corrupt artifact")
+		}
+		if _, err := st.LoadRows(key, 0, 10); err == nil || errors.Is(err, core.ErrNoRowIndex) {
+			t.Errorf("LoadRows on a corrupt artifact: err = %v, want a corruption error", err)
+		}
+	}
+	t.Run("flipped trailer", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte { b[len(b)-3] ^= 0xff; return b })
+	})
+	t.Run("truncated", func(t *testing.T) {
+		corrupt(t, func(b []byte) []byte { return b[:len(b)-20] })
+	})
+}
+
+// TestLoadRowsMemoryBound is the scale acceptance pin: serving a small
+// row window of a million-row artifact must not allocate anything close
+// to the full matrix. The full Win alone is 16 MiB here; the window read
+// is held under 4 MiB of total allocations (window + one 64 KiB chunk +
+// index + decoder scratch).
+func TestLoadRowsMemoryBound(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		nodes = 1 << 20 // a million rows
+		dim   = 2
+	)
+	key := storeKey(4)
+	// Build the big result without the per-value RNG cost of fakeResult.
+	win := mathx.NewMatrix(nodes, dim)
+	wout := mathx.NewMatrix(nodes, dim)
+	for i := range win.Data {
+		win.Data[i] = float64(i) * 0.5
+		wout.Data[i] = float64(i) * 0.25
+	}
+	res := &core.Result{
+		Model:   &skipgram.Model{Dim: dim, Win: win, Wout: wout},
+		Epochs:  1,
+		Stopped: core.StopCompleted,
+	}
+	if err := st.Save(key, res); err != nil {
+		t.Fatal(err)
+	}
+
+	const lo, hi = 500_000, 500_064
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	w, err := st.LoadRows(key, lo, hi)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := win.Data[lo*dim : hi*dim]
+	if !reflect.DeepEqual(w.Rows.Data, append([]float64{}, want...)) {
+		t.Fatal("windowed decode of the million-row artifact diverges")
+	}
+	const allocBound = 4 << 20
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > allocBound {
+		t.Errorf("LoadRows of a %d-row window allocated %d bytes, want <= %d (full matrix is %d)",
+			hi-lo, delta, allocBound, len(win.Data)*8)
+	}
+}
+
+// TestStorePathSanitization keeps operator-readable names safe.
+func TestStorePathSanitization(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := experiments.ResultKey{Graph: 1, Proximity: "../evil/../../name", Config: 2}
+	p := st.path(key)
+	if filepath.Dir(p) != st.dir {
+		t.Fatalf("sanitized path %q escapes the store directory", p)
+	}
+}

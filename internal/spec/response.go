@@ -1,0 +1,64 @@
+package spec
+
+// This file is the response half of the wire contract: the JSON shapes
+// the HTTP front-end (internal/server) answers with. They live here, next
+// to JobSpec, so a Go client — sepriv fetch, the examples, external
+// tooling — and the server decode and encode the very same types; the
+// JSON layout is part of the serving contract and is covered by the
+// handler table tests and the serve-smoke selftest.
+
+// JobResponse is the wire form of a job's observable state.
+type JobResponse struct {
+	ID       string        `json:"id"`
+	Status   string        `json:"status"`
+	Priority int           `json:"priority,omitempty"`
+	Tenant   string        `json:"tenant,omitempty"`
+	Progress *ProgressInfo `json:"progress,omitempty"`
+}
+
+// ProgressInfo mirrors core.EpochStats for the latest completed epoch.
+type ProgressInfo struct {
+	Epoch      int     `json:"epoch"`
+	Loss       float64 `json:"loss"`
+	EpsSpent   float64 `json:"epsSpent"`
+	DeltaSpent float64 `json:"deltaSpent"`
+	ElapsedMs  int64   `json:"elapsedMs"`
+}
+
+// ResultResponse is the wire form of a finished job's outcome. Embedding
+// holds the inlined rows — all of them, a page, or none, per the
+// embedding mode — while RowCount says how many made it in and Range
+// describes the window when one was requested. EmbeddingHash always
+// digests the FULL |V|×r matrix, whatever slice of it the response
+// carries, so any page or window can be verified against the whole.
+type ResultResponse struct {
+	ID            string      `json:"id"`
+	Status        string      `json:"status"`
+	Stopped       string      `json:"stopped"`
+	Epochs        int         `json:"epochs"`
+	Nodes         int         `json:"nodes"`
+	Dim           int         `json:"dim"`
+	EpsilonSpent  float64     `json:"epsilonSpent"`
+	DeltaSpent    float64     `json:"deltaSpent"`
+	EmbeddingHash string      `json:"embeddingHash"`
+	RowCount      int         `json:"rowCount"`
+	Range         *RangeInfo  `json:"range,omitempty"`
+	Embedding     [][]float64 `json:"embedding,omitempty"`
+}
+
+// RangeInfo describes a served row window: Offset is its first row,
+// Limit the page size asked for (so Offset+Limit may exceed the final
+// short page), and Next the URL path+query of the following page ("" on
+// the last one). Next is additionally sent as a Link: <...>; rel="next"
+// header.
+type RangeInfo struct {
+	Offset int    `json:"offset"`
+	Limit  int    `json:"limit"`
+	Next   string `json:"next,omitempty"`
+}
+
+// ErrorResponse carries every non-2xx body.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Status string `json:"status,omitempty"`
+}

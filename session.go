@@ -57,6 +57,12 @@ type (
 	ServiceOptions = service.Options
 	// MemoLimits bounds a service's memoized results (TTL + LRU cap).
 	MemoLimits = experiments.Limits
+	// EmbeddingWindow is a decoded row window [Lo, Hi) of a stored
+	// embedding — the currency of partial-embedding serving. Result.Rows
+	// cuts one from an in-memory result; Service.ResultRows and
+	// DecodeCheckpointRows decode one from the artifact store or an
+	// indexed checkpoint at O(window·r) memory.
+	EmbeddingWindow = core.EmbeddingWindow
 )
 
 // ErrQuotaExceeded, ErrInvalidSpec and ErrServiceClosed classify
@@ -66,6 +72,10 @@ var (
 	ErrQuotaExceeded = service.ErrQuotaExceeded
 	ErrInvalidSpec   = service.ErrInvalidSpec
 	ErrServiceClosed = service.ErrClosed
+	// ErrNoRowIndex reports a row-window read of a pre-v3 checkpoint or
+	// artifact, which carries no row-offset index (full decode still
+	// works; re-encode to serve windows). Test with errors.Is.
+	ErrNoRowIndex = core.ErrNoRowIndex
 )
 
 // Stop reasons for Result.Stopped.
@@ -87,6 +97,14 @@ const (
 // DecodeCheckpoint reads a checkpoint previously written with
 // Checkpoint.Encode (e.g. from a file), for use with WithResume.
 var DecodeCheckpoint = core.DecodeCheckpoint
+
+// DecodeCheckpointRows decodes only rows [lo, hi) of the embedding matrix
+// of an indexed (v3) checkpoint stream, seeking through its row-offset
+// index instead of materializing the full matrices — serve a window of a
+// million-node snapshot at O(window·r) memory. ra is the stream (an
+// *os.File or *bytes.Reader) and size its byte length; pre-v3 streams
+// fail with ErrNoRowIndex.
+var DecodeCheckpointRows = core.DecodeCheckpointRows
 
 // Session is one configured training run behind the job-oriented API:
 // construct with NewSession, then drive it with Run. A Session is
@@ -237,6 +255,18 @@ func (s *Service) SubmitSpec(sp JobSpec) (*Job, error) {
 // (the same ID the HTTP API reports).
 func (s *Service) JobByID(id string) (*Job, bool) {
 	return s.svc.JobByID(id)
+}
+
+// ResultRows returns rows [lo, hi) of a finished job's embedding. When
+// the service persists artifacts, the window is decoded straight from the
+// on-disk artifact through its row-offset index — O(window·r) memory no
+// matter how large the graph — and otherwise it is an O(1) view of the
+// in-memory result. The window carries the full-embedding digest (the
+// HTTP API's embeddingHash), so any page can be verified against the
+// whole matrix. Treat the window's rows as read-only: results are shared
+// across deduplicated submissions.
+func (s *Service) ResultRows(id string, lo, hi int) (*EmbeddingWindow, error) {
+	return s.svc.ResultRows(id, lo, hi)
 }
 
 // CancelAll cancels every unfinished job — the fast half of a graceful

@@ -252,3 +252,71 @@ func TestSubmitSpecFacade(t *testing.T) {
 		t.Fatalf("invalid spec error = %v, want ErrInvalidSpec", err)
 	}
 }
+
+// TestRowRangeFacade pins the partial-embedding serving surface of the
+// facade: Result.Rows windows the in-memory embedding, an encoded
+// checkpoint serves the same window through DecodeCheckpointRows without
+// a full decode, and a Service with an artifact store serves it again
+// through ResultRows — all three bit-identical.
+func TestRowRangeFacade(t *testing.T) {
+	g, prox, cfg := sessionTestInputs(t)
+	cfg.MaxEpochs = 5
+	var ck *seprivgemb.Checkpoint
+	res, err := seprivgemb.NewSession(g, prox,
+		seprivgemb.WithConfig(cfg),
+		seprivgemb.WithCheckpointEvery(0, func(c *seprivgemb.Checkpoint) { ck = c }),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("no final checkpoint delivered")
+	}
+	lo, hi := 7, 23
+	mem, err := res.Rows(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := ck.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	win, err := seprivgemb.DecodeCheckpointRows(bytes.NewReader(raw), int64(len(raw)), lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.TotalRows != g.NumNodes() || win.Dim != cfg.Dim {
+		t.Fatalf("checkpoint window metadata %+v", win)
+	}
+	if embHash(win.Rows.Data) != embHash(mem.Data) {
+		t.Fatal("checkpoint window diverges from the in-memory rows")
+	}
+
+	// Window errors are errors.Is-classifiable at the facade.
+	if _, err := seprivgemb.DecodeCheckpointRows(bytes.NewReader(raw[8:]), int64(len(raw)-8), lo, hi); !errors.Is(err, seprivgemb.ErrNoRowIndex) {
+		t.Errorf("headless stream: err = %v, want ErrNoRowIndex", err)
+	}
+
+	// And the service path: artifact-backed windows under the same hash.
+	svc := seprivgemb.NewServiceWith(seprivgemb.ServiceOptions{MaxWorkers: 2, ArtifactDir: t.TempDir()})
+	defer svc.Close()
+	job, err := svc.Submit(g, prox, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := svc.ResultRows(job.ID(), lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if embHash(sw.Rows.Data) != embHash(mem.Data) {
+		t.Fatal("service window diverges from the in-memory rows")
+	}
+	if sw.FullHash != embHash(res.Embedding().Data) {
+		t.Fatal("service window's full hash does not cover the whole matrix")
+	}
+}
