@@ -1,12 +1,14 @@
 GO ?= go
 # Benchmark → JSON recording for the perf trajectory; bump per PR.
-BENCH_JSON ?= BENCH_pr5.json
+BENCH_JSON ?= BENCH_pr6.json
+# The previous PR's recording, the regression baseline for bench-diff.
+BENCH_BASE ?= BENCH_pr5.json
 # The sharded-stage benchmarks: the DP noise/update stage, the one-shot
 # graph passes, the whole-train scaling curve, the sharded evaluation
 # metrics (PR 3), and the sharded proximity stats/edge-weight scans (PR 4).
 BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|StrucEquWorkers|LinkAUCWorkers|ComputeStatsWorkers|EdgeWeightsWorkers
 
-.PHONY: build test vet race fmt-check bench bench-json serve-smoke verify
+.PHONY: build test vet race fmt-check bench bench-json bench-diff serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -39,6 +41,14 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_PAT)' -benchmem ./... \
 		| tee /dev/stderr | sh scripts/bench_json.sh > $(BENCH_JSON)
+
+# Compare $(BENCH_JSON) against the previous PR's recording; fails on any
+# benchmark whose ns/op regressed by more than 10%. A missing baseline
+# (fresh checkout, expired CI artifact) skips the check rather than
+# blocking — the comparison is a tripwire for the same-host trajectory,
+# not a cross-host truth.
+bench-diff:
+	sh scripts/bench_json.sh diff $(BENCH_BASE) $(BENCH_JSON)
 
 # Serving smoke test: start the HTTP job server on a random port, submit
 # a tiny inline job over real HTTP, poll it to done, and fetch the result.

@@ -15,6 +15,12 @@ type Baseline = baselines.Method
 // BaselineConfig holds hyperparameters shared by the baseline methods.
 type BaselineConfig = baselines.Config
 
+// BaselineResult is the outcome of a direct baseline Train call: the
+// embedding plus the epochs run and the privacy budget actually spent.
+// (Baselines submitted through a Session's Service or the HTTP API return
+// a core Result instead — see WithMethod and the methods registry.)
+type BaselineResult = baselines.Result
+
 // DefaultBaselineConfig mirrors the paper's shared settings (r=128, σ=5,
 // δ=1e-5) with baseline-typical optimization defaults.
 func DefaultBaselineConfig() BaselineConfig { return baselines.DefaultConfig() }

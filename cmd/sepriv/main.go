@@ -9,6 +9,10 @@
 // Flags mirror Algorithm 2's hyperparameters; defaults are the paper's
 // settings. With -out the embedding is written as TSV (node id then r
 // values per line); with -eval both downstream metrics are reported.
+// `-method` swaps the trainer for one of the reproduced DP baselines
+// (dpggan, dpgvae, gap, progap); those reuse the shared hyperparameter
+// flags but reject -checkpoint, -naive, and -non-private, which only
+// apply to the paper's algorithm.
 //
 // Training runs as a cancellable session: SIGINT/SIGTERM stops at the next
 // epoch boundary and still reports the partial embedding, its privacy
@@ -56,6 +60,7 @@ func main() {
 		graphPath   = flag.String("graph", "", "edge-list file to train on")
 		dataset     = flag.String("dataset", "", "simulated dataset name (alternative to -graph)")
 		scale       = flag.Float64("scale", 0.1, "dataset scale when using -dataset")
+		method      = flag.String("method", seprivgemb.DefaultMethod, "training method: "+methodList())
 		proxName    = flag.String("prox", "deepwalk", "structure preference (deepwalk, degree, cn, pa, aa, ra, katz, pagerank)")
 		dim         = flag.Int("dim", 128, "embedding dimension r")
 		k           = flag.Int("k", 5, "negative sampling number")
@@ -81,6 +86,26 @@ func main() {
 		ckptWriteErr error // last snapshot write failure, nil once one succeeds
 		ckptWritten  = -1  // epoch of the last successfully written snapshot
 	)
+
+	methodName, err := seprivgemb.CanonicalMethod(*method)
+	if err != nil {
+		fail(err)
+	}
+	if methodName != seprivgemb.DefaultMethod {
+		// The baselines have neither resumable state nor the Eq. (6)/(9)
+		// strategy split, and they are private by construction — refuse
+		// the flags that only make sense for the paper's algorithm rather
+		// than silently ignoring them.
+		switch {
+		case *ckptPath != "":
+			fail(fmt.Errorf("-checkpoint is only supported by the default %q method (%s has no resumable state)",
+				seprivgemb.DefaultMethod, methodName))
+		case *naive:
+			fail(fmt.Errorf("-naive selects an SE-PrivGEmb perturbation strategy; it does not apply to %s", methodName))
+		case *nonPriv:
+			fail(fmt.Errorf("%s has no non-private variant; drop -non-private", methodName))
+		}
+	}
 
 	g, err := loadGraph(*graphPath, *dataset, *scale, *seed)
 	if err != nil {
@@ -109,12 +134,19 @@ func main() {
 	if *naive {
 		cfg.Strategy = seprivgemb.StrategyNaive
 	}
-	if cfg.BatchSize > g.NumEdges() {
+	if methodName == seprivgemb.DefaultMethod && cfg.BatchSize > g.NumEdges() {
+		// Baselines sample nodes, not edges, and clamp to |V| themselves.
 		cfg.BatchSize = g.NumEdges()
 		fmt.Printf("note: batch clamped to |E| = %d\n", cfg.BatchSize)
 	}
+	if methodName != seprivgemb.DefaultMethod {
+		fmt.Printf("method: %s\n", methodName)
+	}
 
-	opts := []seprivgemb.Option{seprivgemb.WithConfig(cfg)}
+	opts := []seprivgemb.Option{
+		seprivgemb.WithConfig(cfg),
+		seprivgemb.WithMethod(methodName),
+	}
 	if *materialize {
 		// Row-lazy measures (Katz, PageRank) recompute a whole row per At
 		// call; the session materializes once — sharded across the
@@ -283,6 +315,22 @@ func writeTSV(path string, emb *seprivgemb.Matrix) error {
 		return err
 	}
 	return f.Close()
+}
+
+// methodList renders the registry for the -method flag's help text, with
+// the default marked.
+func methodList() string {
+	var b []byte
+	for i, m := range seprivgemb.Methods() {
+		if i > 0 {
+			b = append(b, ", "...)
+		}
+		b = append(b, m.Name...)
+		if m.Default {
+			b = append(b, " (default)"...)
+		}
+	}
+	return string(b)
 }
 
 func fail(err error) {

@@ -9,6 +9,10 @@
 //
 // The same server is reachable as `sepriv serve`. SIGINT/SIGTERM drains
 // gracefully: in-flight jobs stop at their next epoch boundary.
+//
+// Every registered method is served — the paper's algorithm by default,
+// the reproduced baselines when a spec names one ("method": "gap", …);
+// GET /v1/methods lists the registry.
 package main
 
 import (

@@ -41,6 +41,16 @@
 // specs deduplicate onto a single job with a stable ID and a shared
 // Result.
 //
+// Every trainer is served through one method registry (DESIGN.md §11):
+// the paper's algorithm is the default, and the four baselines submit by
+// name — JobSpec's "method" field, WithMethod on a Session,
+// Service.SubmitMethod, `sepriv -method`, with GET /v1/methods listing
+// the registry (Methods here). The method is part of the job identity,
+// so distinct methods never share a job ID or artifact, while the
+// default method's IDs and artifacts are unchanged from earlier
+// releases. Baselines are seed-deterministic like the core trainer, so
+// repeated submissions dedup onto bit-identical results.
+//
 // Results serve by row range (DESIGN.md §10): checkpoints and persisted
 // artifacts use an indexed chunk format whose row-offset index decodes
 // any window [lo, hi) at O(window·r) memory (Result.Rows,

@@ -53,12 +53,12 @@ func main() {
 	bcfg.Epsilon = eps
 	bcfg.Seed = 9
 	for _, m := range seprivgemb.Baselines() {
-		emb, err := m.Train(split.Train, bcfg)
+		bres, err := m.Train(context.Background(), split.Train, bcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-16s AUC %.4f\n", m.Name(),
-			seprivgemb.LinkAUC(split, seprivgemb.EmbeddingScorer(emb)))
+			seprivgemb.LinkAUC(split, seprivgemb.EmbeddingScorer(bres.Embedding)))
 	}
 	fmt.Println("\nAll methods hold (2, 1e-5)-DP; AUC > 0.5 beats random guessing.")
 }

@@ -174,6 +174,82 @@ func main() {
 	fmt.Printf("Go API embedding hash:        %s\n", server.EmbeddingHash(res.Embedding()))
 	fmt.Println("\none spec, two transports, one training run — that is the contract.")
 
+	// --- Baselines are served too: name a method in the spec. ---------
+	// The same graph and config under "method": "gap" is a DIFFERENT job
+	// — the method is part of the job identity, so a baseline and the
+	// paper's algorithm never collide on a job ID or an artifact. GET
+	// /v1/methods lists what this server can train.
+	mr, err := http.Get(base + "/v1/methods")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var listing struct {
+		Methods []struct {
+			Name    string `json:"name"`
+			Default bool   `json:"default"`
+		} `json:"methods"`
+	}
+	json.NewDecoder(mr.Body).Decode(&listing)
+	mr.Body.Close()
+	fmt.Printf("\nserved methods:")
+	for _, m := range listing.Methods {
+		if m.Default {
+			fmt.Printf(" %s(default)", m.Name)
+		} else {
+			fmt.Printf(" %s", m.Name)
+		}
+	}
+	fmt.Println()
+
+	gapSpec := `{
+		"graph":     {"dataset": {"name": "power", "scale": 0.2, "seed": 7}},
+		"method":    "gap",
+		"proximity": "deepwalk",
+		"config":    {"dim": 32, "maxEpochs": 40, "seed": 11},
+		"tenant":    "analyst-1"
+	}`
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader([]byte(gapSpec)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var gapJob struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Method string `json:"method"`
+	}
+	json.NewDecoder(resp.Body).Decode(&gapJob)
+	resp.Body.Close()
+	fmt.Printf("baseline job %s (method %s, distinct from %s: %v)\n",
+		gapJob.ID, gapJob.Method, job.ID, gapJob.ID != job.ID)
+	for gapJob.Status != "done" {
+		time.Sleep(50 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + gapJob.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+		}
+		json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		gapJob.Status = st.Status
+	}
+	r, err = http.Get(base + "/v1/jobs/" + gapJob.ID + "/result?embedding=none")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var gapResult struct {
+		Method        string `json:"method"`
+		Nodes         int    `json:"nodes"`
+		Dim           int    `json:"dim"`
+		EmbeddingHash string `json:"embeddingHash"`
+	}
+	json.NewDecoder(r.Body).Decode(&gapResult)
+	r.Body.Close()
+	fmt.Printf("baseline result: %s, %dx%d, hash %s (≠ sepriv hash: %v)\n",
+		gapResult.Method, gapResult.Nodes, gapResult.Dim, gapResult.EmbeddingHash,
+		gapResult.EmbeddingHash != result.EmbeddingHash)
+
 	httpSrv.Shutdown(context.Background())
 	svc.CancelAll()
 	svc.Close()

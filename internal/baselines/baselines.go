@@ -8,9 +8,18 @@
 // noise is injected and how the budget is spent — on a compact MLP
 // substrate, because those mechanisms are what the paper's comparative
 // discussion attributes the utility rankings to.
+//
+// Baselines follow the same serving contract as the core trainer: training
+// honors context cancellation at epoch/hop granularity, every DP noise draw
+// is addressed through a counter-based xrand.Stream (so repeated runs of
+// one config are bit-identical, the dedup currency of internal/service),
+// and a Result reports the privacy actually spent alongside the embedding.
 package baselines
 
 import (
+	"context"
+	"fmt"
+
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/mathx"
 )
@@ -45,10 +54,64 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate rejects configurations no baseline can train under — above all
+// non-positive privacy budgets, which the methods previously accepted
+// silently (ε ≤ 0 made the GAN/VAE accountant never stop and GAP's sigma
+// calibration meaningless). The serving layer runs this at submission so
+// an invalid budget is a 400, exactly like an invalid core.Config.
+func (c Config) Validate() error {
+	switch {
+	case c.Dim < 1:
+		return fmt.Errorf("baselines: dimension %d must be >= 1", c.Dim)
+	case c.Epsilon <= 0:
+		return fmt.Errorf("baselines: privacy budget epsilon %g must be positive", c.Epsilon)
+	case c.Delta <= 0 || c.Delta >= 1:
+		return fmt.Errorf("baselines: delta %g must lie in (0, 1)", c.Delta)
+	case c.Sigma <= 0:
+		return fmt.Errorf("baselines: noise multiplier sigma %g must be positive", c.Sigma)
+	case c.Epochs < 1:
+		return fmt.Errorf("baselines: epochs %d must be >= 1", c.Epochs)
+	case c.BatchSize < 1:
+		return fmt.Errorf("baselines: batch size %d must be >= 1", c.BatchSize)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("baselines: learning rate %g must be positive", c.LearningRate)
+	case c.Clip <= 0:
+		return fmt.Errorf("baselines: clip threshold %g must be positive", c.Clip)
+	case c.Hops < 1:
+		return fmt.Errorf("baselines: hops %d must be >= 1", c.Hops)
+	}
+	return nil
+}
+
+// Result is the outcome of one baseline training run: the (ε, δ)-private
+// embedding plus the budget bookkeeping the serving surface reports for
+// every method uniformly.
+type Result struct {
+	// Embedding is the released |V|×Dim matrix.
+	Embedding *mathx.Matrix
+	// Epochs counts the completed training epochs (aggregation hops/stages
+	// for the GAP family, whose "training" is the hop loop).
+	Epochs int
+	// EpsilonSpent is the ε certified at the configured δ; for the GAP
+	// family the calibrated release spends the configured budget exactly.
+	EpsilonSpent float64
+	// DeltaSpent is the δ̂ certified at the configured ε.
+	DeltaSpent float64
+	// StoppedByBudget reports an accountant-forced early stop (the
+	// premature convergence the paper attributes to the DPSGD baselines).
+	StoppedByBudget bool
+}
+
 // Method is a private graph-embedding baseline: it trains on a graph and
-// returns a |V|×Dim embedding matrix whose release satisfies the
-// configured (ε, δ) guarantee under the method's own threat model.
+// releases an embedding whose publication satisfies the configured (ε, δ)
+// guarantee under the method's own threat model.
+//
+// The contract matches the core trainer's: Train checks cfg.Validate
+// first, honors ctx at epoch/hop boundaries (a canceled run returns
+// ctx.Err() and no partial — baselines are cheap enough to restart), and
+// is bit-identical across repeated runs of one (graph, config) because
+// all noise is drawn from counter-addressed streams.
 type Method interface {
 	Name() string
-	Train(g *graph.Graph, cfg Config) (*mathx.Matrix, error)
+	Train(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 }

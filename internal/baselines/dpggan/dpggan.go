@@ -13,6 +13,7 @@
 package dpggan
 
 import (
+	"context"
 	"fmt"
 
 	"seprivgemb/internal/baselines"
@@ -35,12 +36,22 @@ func (*Method) Name() string { return "DPGGAN" }
 const zDim = 32
 
 // Train implements baselines.Method.
-func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error) {
+func (*Method) Train(ctx context.Context, g *graph.Graph, cfg baselines.Config) (*baselines.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("dpggan: %w", err)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumNodes()
 	if cfg.BatchSize > n {
 		return nil, fmt.Errorf("dpggan: batch %d exceeds %d nodes", cfg.BatchSize, n)
 	}
 	rng := xrand.New(cfg.Seed ^ 0x47414e) // "GAN"
+	// DP noise comes from a counter stream keyed by epoch, never from the
+	// sequential rng: index-addressed draws are what make repeated runs of
+	// one config bit-identical (the serving layer's dedup currency).
+	noise := xrand.NewStream(cfg.Seed ^ 0x47414e)
 	feat := baselines.ProjectAdjacency(g, cfg.Dim, rng)
 
 	// Discriminator: feature → hidden (the embedding) → real/fake logit.
@@ -57,7 +68,11 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 	gBatch := nn.NewGrads(gen)
 	var cache, gCache nn.Cache
 	z := make([]float64, zDim)
+	epochs, stoppedByBudget := 0, false
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// --- Discriminator step (private: touches real node data). ---
 		dBatch.Zero()
 		for _, u := range rng.SampleWithoutReplacement(n, cfg.BatchSize) {
@@ -79,7 +94,7 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 			dOne.Clip(cfg.Clip)
 			dBatch.Add(dOne)
 		}
-		dBatch.AddNoise(cfg.Clip*cfg.Sigma, rng)
+		dBatch.AddNoise(cfg.Clip*cfg.Sigma, noise.Derive(uint64(epoch)))
 		disc.ApplySGD(dBatch, cfg.LearningRate, float64(2*cfg.BatchSize))
 
 		// --- Generator step (post-processing of the private D). ---
@@ -96,7 +111,9 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 		gen.ApplySGD(gBatch, cfg.LearningRate, float64(cfg.BatchSize))
 
 		acct.AddGaussianStep(gamma, cfg.Sigma)
+		epochs = epoch + 1
 		if dHat, _ := acct.DeltaFor(cfg.Epsilon); dHat >= cfg.Delta {
+			stoppedByBudget = true
 			break // budget exhausted: the premature stop the paper reports
 		}
 	}
@@ -107,7 +124,15 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 		disc.Forward(feat.Row(u), &cache)
 		copy(emb.Row(u), hidden(&cache))
 	}
-	return emb, nil
+	eps, _ := acct.EpsilonFor(cfg.Delta)
+	dHat, _ := acct.DeltaFor(cfg.Epsilon)
+	return &baselines.Result{
+		Embedding:       emb,
+		Epochs:          epochs,
+		EpsilonSpent:    eps,
+		DeltaSpent:      dHat,
+		StoppedByBudget: stoppedByBudget,
+	}, nil
 }
 
 // hidden returns the first hidden layer's activations from the cache.

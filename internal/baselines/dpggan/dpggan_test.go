@@ -1,6 +1,7 @@
 package dpggan
 
 import (
+	"context"
 	"testing"
 
 	"seprivgemb/internal/baselines"
@@ -19,18 +20,18 @@ func TestDiscriminatorLearnsUnderGenerousBudget(t *testing.T) {
 	cfg.Seed = 6
 
 	cfg.Epochs = 1
-	one, err := New().Train(g, cfg)
+	one, err := New().Train(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Epochs = 30
-	many, err := New().Train(g, cfg)
+	many, err := New().Train(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var diff float64
-	for i := range one.Data {
-		d := one.Data[i] - many.Data[i]
+	for i := range one.Embedding.Data {
+		d := one.Embedding.Data[i] - many.Embedding.Data[i]
 		diff += d * d
 	}
 	if diff == 0 {
@@ -44,11 +45,11 @@ func TestHiddenLayerIsEmbedding(t *testing.T) {
 	cfg.Dim = 20
 	cfg.BatchSize = 8
 	cfg.Epochs = 2
-	emb, err := New().Train(g, cfg)
+	res, err := New().Train(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if emb.Cols != 20 {
-		t.Errorf("embedding dim %d, want 20 (the hidden width)", emb.Cols)
+	if res.Embedding.Cols != 20 {
+		t.Errorf("embedding dim %d, want 20 (the hidden width)", res.Embedding.Cols)
 	}
 }

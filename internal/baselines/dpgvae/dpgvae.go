@@ -9,6 +9,7 @@
 package dpgvae
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -33,12 +34,21 @@ func (*Method) Name() string { return "DPGVAE" }
 const klWeight = 1e-3
 
 // Train implements baselines.Method.
-func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error) {
+func (*Method) Train(ctx context.Context, g *graph.Graph, cfg baselines.Config) (*baselines.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("dpgvae: %w", err)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumNodes()
 	if cfg.BatchSize > n {
 		return nil, fmt.Errorf("dpgvae: batch %d exceeds %d nodes", cfg.BatchSize, n)
 	}
 	rng := xrand.New(cfg.Seed ^ 0x564145) // "VAE"
+	// Counter-addressed DP noise, keyed (epoch, network): bit-identical
+	// repeats of one config, independent of draw order (see dpggan).
+	noise := xrand.NewStream(cfg.Seed ^ 0x564145)
 	feat := baselines.ProjectAdjacency(g, cfg.Dim, rng)
 
 	// Encoder emits [μ ‖ logvar]; decoder reconstructs the feature.
@@ -57,7 +67,11 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 	zSample := make([]float64, cfg.Dim)
 	dRecon := make([]float64, cfg.Dim)
 	dEncOut := make([]float64, 2*cfg.Dim)
+	epochs, stoppedByBudget := 0, false
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		encBatch.Zero()
 		decBatch.Zero()
 		for _, u := range rng.SampleWithoutReplacement(n, cfg.BatchSize) {
@@ -92,13 +106,15 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 			encBatch.Add(encOne)
 			decBatch.Add(decOne)
 		}
-		encBatch.AddNoise(cfg.Clip*cfg.Sigma, rng)
-		decBatch.AddNoise(cfg.Clip*cfg.Sigma, rng)
+		encBatch.AddNoise(cfg.Clip*cfg.Sigma, noise.Derive(uint64(epoch)).Derive(0))
+		decBatch.AddNoise(cfg.Clip*cfg.Sigma, noise.Derive(uint64(epoch)).Derive(1))
 		enc.ApplySGD(encBatch, cfg.LearningRate, float64(cfg.BatchSize))
 		decoder.ApplySGD(decBatch, cfg.LearningRate, float64(cfg.BatchSize))
 
 		acct.AddGaussianStep(gamma, cfg.Sigma)
+		epochs = epoch + 1
 		if dHat, _ := acct.DeltaFor(cfg.Epsilon); dHat >= cfg.Delta {
+			stoppedByBudget = true
 			break
 		}
 	}
@@ -109,5 +125,13 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 		out := enc.Forward(feat.Row(u), &encCache)
 		copy(emb.Row(u), out[:cfg.Dim])
 	}
-	return emb, nil
+	eps, _ := acct.EpsilonFor(cfg.Delta)
+	dHat, _ := acct.DeltaFor(cfg.Epsilon)
+	return &baselines.Result{
+		Embedding:       emb,
+		Epochs:          epochs,
+		EpsilonSpent:    eps,
+		DeltaSpent:      dHat,
+		StoppedByBudget: stoppedByBudget,
+	}, nil
 }

@@ -1,6 +1,7 @@
 package dpgvae
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,11 +16,11 @@ func TestEncoderMeansAreFinite(t *testing.T) {
 	cfg.Dim = 16
 	cfg.BatchSize = 16
 	cfg.Epochs = 5
-	emb, err := New().Train(g, cfg)
+	res, err := New().Train(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range emb.Data {
+	for _, v := range res.Embedding.Data {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatal("VAE produced non-finite embedding values")
 		}
@@ -40,10 +41,11 @@ func TestStructurallyEquivalentNodesGetSimilarMeans(t *testing.T) {
 	cfg.Dim = 8
 	cfg.BatchSize = 4
 	cfg.Epochs = 3
-	emb, err := New().Train(g, cfg)
+	res, err := New().Train(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	emb := res.Embedding
 	for d := 0; d < cfg.Dim; d++ {
 		if math.Abs(emb.At(0, d)-emb.At(1, d)) > 1e-9 {
 			t.Fatalf("structurally equivalent nodes 0 and 1 got different means")

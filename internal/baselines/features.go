@@ -83,12 +83,22 @@ func NormalizeRows(x *mathx.Matrix) {
 	}
 }
 
-// AddRowNoise perturbs every entry of x with N(0, sd²).
-func AddRowNoise(x *mathx.Matrix, sd float64, rng *xrand.RNG) {
+// AddRowNoise perturbs every entry of x with N(0, sd²), drawing from the
+// counter stream by flat element index — the deterministic-noise contract
+// the core trainer follows (noise is addressed by position, not by draw
+// order), which makes every baseline release bit-identical across repeated
+// runs of one config. Elements are consumed as Box–Muller pairs to
+// amortize the transcendentals.
+func AddRowNoise(x *mathx.Matrix, sd float64, s xrand.Stream) {
 	if sd <= 0 {
 		return
 	}
-	for i := range x.Data {
-		x.Data[i] += sd * rng.Normal()
+	d := x.Data
+	for j := 0; 2*j < len(d); j++ {
+		a, b := s.NormalPairAt(uint64(j))
+		d[2*j] += sd * a
+		if 2*j+1 < len(d) {
+			d[2*j+1] += sd * b
+		}
 	}
 }

@@ -13,6 +13,7 @@
 package gap
 
 import (
+	"context"
 	"fmt"
 
 	"seprivgemb/internal/baselines"
@@ -32,12 +33,18 @@ func New() *Method { return &Method{} }
 func (*Method) Name() string { return "GAP" }
 
 // Train implements baselines.Method.
-func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error) {
-	if cfg.Hops < 1 {
-		return nil, fmt.Errorf("gap: hops %d must be >= 1", cfg.Hops)
+func (*Method) Train(ctx context.Context, g *graph.Graph, cfg baselines.Config) (*baselines.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("gap: %w", err)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := g.NumNodes()
 	rng := xrand.New(cfg.Seed ^ 0x474150) // "GAP"
+	// Release noise comes from a counter stream keyed by hop — the
+	// index-addressed draws that make repeated releases bit-identical.
+	noise := xrand.NewStream(cfg.Seed ^ 0x474150)
 	x := baselines.RandomFeatures(n, cfg.Dim, rng)
 
 	// Split the budget across the K perturbed aggregation releases. Row
@@ -48,8 +55,11 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 	sum := mathx.NewMatrix(n, cfg.Dim)
 	cur := x
 	for hop := 0; hop < cfg.Hops; hop++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		agg := baselines.AggregateRaw(g, cur, false)
-		baselines.AddRowNoise(agg, sigma, rng)
+		baselines.AddRowNoise(agg, sigma, noise.Derive(uint64(hop)))
 		// The released noisy aggregate keeps its raw scale (row norm grows
 		// with degree — the structural signal GAP retains); rows are
 		// re-normalized only to bound the next hop's sensitivity.
@@ -59,5 +69,11 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 	}
 	// Post-processing: average the hop outputs.
 	mathx.Scale(1/float64(cfg.Hops), sum.Data)
-	return sum, nil
+	// The calibrated release spends the configured budget exactly.
+	return &baselines.Result{
+		Embedding:    sum,
+		Epochs:       cfg.Hops,
+		EpsilonSpent: cfg.Epsilon,
+		DeltaSpent:   cfg.Delta,
+	}, nil
 }

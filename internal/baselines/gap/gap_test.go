@@ -1,6 +1,7 @@
 package gap
 
 import (
+	"context"
 	"testing"
 
 	"seprivgemb/internal/baselines"
@@ -21,11 +22,12 @@ func TestMoreNoiseWithTighterBudget(t *testing.T) {
 	dist := func(eps float64) float64 {
 		c := cfg
 		c.Epsilon = eps
-		emb, err := New().Train(g, c)
+		res, err := New().Train(context.Background(), g, c)
 		if err != nil {
 			t.Fatal(err)
 		}
 		var d float64
+		emb := res.Embedding
 		for i := range emb.Data {
 			diff := emb.Data[i] - reference.Data[i]
 			d += diff * diff

@@ -1,6 +1,7 @@
 package baselines_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -31,10 +32,11 @@ func TestAllMethodsProduceFiniteEmbeddings(t *testing.T) {
 	g := graph.BarabasiAlbert(80, 3, xrand.New(7))
 	cfg := quickConfig()
 	for _, m := range methods() {
-		emb, err := m.Train(g, cfg)
+		res, err := m.Train(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
+		emb := res.Embedding
 		if emb.Rows != g.NumNodes() || emb.Cols != cfg.Dim {
 			t.Fatalf("%s: embedding %dx%d, want %dx%d",
 				m.Name(), emb.Rows, emb.Cols, g.NumNodes(), cfg.Dim)
@@ -57,17 +59,17 @@ func TestMethodsDeterministic(t *testing.T) {
 		func() baselines.Method { return gap.New() },
 		func() baselines.Method { return progap.New() },
 	} {
-		a, err := makeM().Train(g, cfg)
+		a, err := makeM().Train(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := makeM().Train(g, cfg)
+		b, err := makeM().Train(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		name := makeM().Name()
-		for i := range a.Data {
-			if a.Data[i] != b.Data[i] {
+		for i := range a.Embedding.Data {
+			if a.Embedding.Data[i] != b.Embedding.Data[i] {
 				t.Fatalf("%s not deterministic", name)
 			}
 		}
@@ -91,11 +93,11 @@ func TestGAPCapturesSomeStructure(t *testing.T) {
 	g := graph.StochasticBlockModel(150, 3, 0.3, 0.01, xrand.New(9))
 	cfg := quickConfig()
 	cfg.Epsilon = 8
-	emb, err := gap.New().Train(g, cfg)
+	res, err := gap.New().Train(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	se := eval.StrucEqu(g, emb)
+	se := eval.StrucEqu(g, res.Embedding)
 	random := baselines.RandomFeatures(g.NumNodes(), cfg.Dim, xrand.New(10))
 	seRandom := eval.StrucEqu(g, random)
 	if se <= seRandom {
@@ -107,10 +109,10 @@ func TestGAPHopsValidation(t *testing.T) {
 	g := graph.BarabasiAlbert(40, 2, xrand.New(11))
 	cfg := quickConfig()
 	cfg.Hops = 0
-	if _, err := gap.New().Train(g, cfg); err == nil {
+	if _, err := gap.New().Train(context.Background(), g, cfg); err == nil {
 		t.Error("hops=0 accepted by GAP")
 	}
-	if _, err := progap.New().Train(g, cfg); err == nil {
+	if _, err := progap.New().Train(context.Background(), g, cfg); err == nil {
 		t.Error("hops=0 accepted by ProGAP")
 	}
 }
@@ -119,10 +121,10 @@ func TestGANVAEBatchValidation(t *testing.T) {
 	g := graph.BarabasiAlbert(20, 2, xrand.New(12))
 	cfg := quickConfig()
 	cfg.BatchSize = 100
-	if _, err := dpggan.New().Train(g, cfg); err == nil {
+	if _, err := dpggan.New().Train(context.Background(), g, cfg); err == nil {
 		t.Error("oversized batch accepted by DPGGAN")
 	}
-	if _, err := dpgvae.New().Train(g, cfg); err == nil {
+	if _, err := dpgvae.New().Train(context.Background(), g, cfg); err == nil {
 		t.Error("oversized batch accepted by DPGVAE")
 	}
 }
@@ -136,11 +138,17 @@ func TestTightBudgetStopsGANEarly(t *testing.T) {
 	cfg.Epsilon = 0.01
 	cfg.Sigma = 1
 	cfg.Epochs = 100000 // would take forever if the stop failed
-	emb, err := dpggan.New().Train(g, cfg)
+	res, err := dpggan.New().Train(context.Background(), g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if emb.Rows != g.NumNodes() {
+	if res.Embedding.Rows != g.NumNodes() {
 		t.Fatal("embedding shape wrong after early stop")
+	}
+	if !res.StoppedByBudget {
+		t.Error("early-stopped run not flagged StoppedByBudget")
+	}
+	if res.Epochs >= cfg.Epochs {
+		t.Errorf("early stop ran all %d epochs", res.Epochs)
 	}
 }

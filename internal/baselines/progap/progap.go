@@ -10,6 +10,7 @@
 package progap
 
 import (
+	"context"
 	"fmt"
 
 	"seprivgemb/internal/baselines"
@@ -30,12 +31,18 @@ func New() *Method { return &Method{} }
 func (*Method) Name() string { return "ProGAP" }
 
 // Train implements baselines.Method.
-func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error) {
-	if cfg.Hops < 1 {
-		return nil, fmt.Errorf("progap: stages %d must be >= 1", cfg.Hops)
+func (*Method) Train(ctx context.Context, g *graph.Graph, cfg baselines.Config) (*baselines.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("progap: %w", err)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := g.NumNodes()
 	rng := xrand.New(cfg.Seed ^ 0x50524f) // "PRO"
+	// Per-stage release noise from a counter stream keyed by stage, so
+	// repeated runs of one config release identical bits.
+	noise := xrand.NewStream(cfg.Seed ^ 0x50524f)
 	x := baselines.RandomFeatures(n, cfg.Dim, rng)
 
 	// One noisy aggregation release per stage.
@@ -45,12 +52,15 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 	jk := mathx.NewMatrix(n, cfg.Dim)
 	cur := x
 	for stage := 0; stage < cfg.Hops; stage++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Aggregate with self-loops so each stage refines rather than
 		// replaces its input, then release with calibrated noise. The raw
 		// (unnormalized) release keeps the degree-scaled signal; only the
 		// next stage's input is renormalized for sensitivity.
 		agg := baselines.AggregateRaw(g, cur, true)
-		baselines.AddRowNoise(agg, sigma, rng)
+		baselines.AddRowNoise(agg, sigma, noise.Derive(uint64(stage)))
 		jk.AddScaled(1, agg)
 		// Stage transformation: a fixed random expansion + tanh, the
 		// training-free stand-in for the stage's learned module (applied to
@@ -58,7 +68,12 @@ func (*Method) Train(g *graph.Graph, cfg baselines.Config) (*mathx.Matrix, error
 		cur = transform(agg, rng.Split())
 	}
 	mathx.Scale(1/float64(cfg.Hops), jk.Data)
-	return jk, nil
+	return &baselines.Result{
+		Embedding:    jk,
+		Epochs:       cfg.Hops,
+		EpsilonSpent: cfg.Epsilon,
+		DeltaSpent:   cfg.Delta,
+	}, nil
 }
 
 // transform applies a per-stage random square projection with a tanh

@@ -1,6 +1,7 @@
 package progap
 
 import (
+	"context"
 	"testing"
 
 	"seprivgemb/internal/baselines"
@@ -21,16 +22,16 @@ func TestProGAPAtLeastMatchesGAPOnStructure(t *testing.T) {
 	var pro, plain float64
 	for seed := uint64(0); seed < 3; seed++ {
 		cfg.Seed = seed
-		embP, err := New().Train(g, cfg)
+		resP, err := New().Train(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		embG, err := gap.New().Train(g, cfg)
+		resG, err := gap.New().Train(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pro += eval.StrucEqu(g, embP)
-		plain += eval.StrucEqu(g, embG)
+		pro += eval.StrucEqu(g, resP.Embedding)
+		plain += eval.StrucEqu(g, resG.Embedding)
 	}
 	if pro < plain-0.15 {
 		t.Errorf("ProGAP mean StrucEqu %g far below GAP %g", pro/3, plain/3)
@@ -41,7 +42,7 @@ func TestStagesValidation(t *testing.T) {
 	g := graph.BarabasiAlbert(30, 2, xrand.New(4))
 	cfg := baselines.DefaultConfig()
 	cfg.Hops = 0
-	if _, err := New().Train(g, cfg); err == nil {
+	if _, err := New().Train(context.Background(), g, cfg); err == nil {
 		t.Error("zero stages accepted")
 	}
 }

@@ -58,12 +58,19 @@ type Limits struct {
 	ResultTTL time.Duration
 }
 
-// ResultKey identifies a training run up to bit-identical output: the exact
-// graph (fingerprint), the structure preference, and the result-shaping
-// config fields (core.Config.Hash, which excludes Workers). Two submissions
-// with equal keys would train the very same embedding, so the service layer
-// runs one and hands the result to both.
+// ResultKey identifies a training run up to bit-identical output: the
+// training method, the exact graph (fingerprint), the structure preference,
+// and the result-shaping config fields (core.Config.Hash, which excludes
+// Workers). Two submissions with equal keys would train the very same
+// embedding, so the service layer runs one and hands the result to both.
+//
+// Method is part of the key because two different trainers over one
+// (graph, proximity, config) triple produce different embeddings — without
+// it, submitting "gap" after "sepriv" on the same spec would be served the
+// sepriv result. Empty Method means the default method (methods.Default);
+// callers should canonicalize before keying so "" and "sepriv" coincide.
 type ResultKey struct {
+	Method    string // canonical method name ("" ≡ the default method)
 	Graph     uint64 // graph.Fingerprint of the training graph
 	Proximity string // Proximity.Name of the structure preference
 	Config    uint64 // core.Config.Hash of the hyperparameters

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"seprivgemb/internal/baselines"
@@ -39,7 +40,11 @@ func (o Options) methodEmbedders() map[string]embedder {
 			if cfg.BatchSize > g.NumNodes() {
 				cfg.BatchSize = g.NumNodes()
 			}
-			return m.Train(g, cfg)
+			res, err := m.Train(context.Background(), g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Embedding, nil
 		}
 	}
 	se := func(prox string, private bool) embedder {

@@ -1,0 +1,259 @@
+// Package methods is the trainer registry of the serving stack: one
+// namespace in which the paper's method (sepriv) and every reproduced
+// baseline (dpggan, dpgvae, gap, progap) are served through a single
+// Trainer interface. Before this registry existed the baselines were dead
+// code behind the Session/JobSpec/HTTP stack — reachable only by direct Go
+// calls — so the serving system could answer for exactly one method and
+// the paper's comparison tables could not be produced server-side.
+//
+// The registry is deliberately static (a fixed map, no Register function):
+// the method name is part of the deduplication key, the job ID, and the
+// artifact filename, so the name→trainer mapping must be identical in
+// every process that shares an artifact directory. A dynamic registry
+// would let two servers disagree about what "gap" means while trusting
+// each other's artifacts.
+package methods
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"seprivgemb/internal/baselines"
+	"seprivgemb/internal/baselines/dpggan"
+	"seprivgemb/internal/baselines/dpgvae"
+	"seprivgemb/internal/baselines/gap"
+	"seprivgemb/internal/baselines/progap"
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/skipgram"
+)
+
+// Default is the canonical name of the paper's own method, selected by
+// every spec and submission that does not name a method explicitly.
+const Default = "sepriv"
+
+// Trainer is one served training method: a uniform (ctx, graph, config,
+// hooks) → Result contract over which the service layer applies dedup,
+// quotas, priority admission, artifacts, and row-window serving without
+// knowing which method runs. The core trainer implements it directly;
+// baselines are adapted (their own Config is derived from core.Config and
+// their Result lifted into core.Result, so the wire shapes stay uniform).
+type Trainer interface {
+	// Name returns the canonical registry name.
+	Name() string
+	// Describe returns the one-line human description served by
+	// GET /v1/methods.
+	Describe() string
+	// UsesProximity reports whether the method consumes the structure
+	// preference; the service skips proximity materialization for methods
+	// that don't (the baselines train on features, not edge weights).
+	UsesProximity() bool
+	// Train runs the method. Cancellation granularity is per epoch (or
+	// hop); sepriv returns a partial, resumable Result on cancel while the
+	// baselines return ctx.Err() (they are cheap enough to restart).
+	Train(ctx context.Context, g *graph.Graph, prox proximity.Proximity, cfg core.Config, hooks core.Hooks) (*core.Result, error)
+}
+
+// registry maps canonical names to trainers. Keys are the wire names; see
+// Canonical for the accepted spellings.
+var registry = map[string]Trainer{
+	Default:  seprivTrainer{},
+	"dpggan": baselineTrainer{m: dpggan.New(), desc: "DPGGAN (Yang et al., IJCAI 2021): graph GAN, DPSGD discriminator under an RDP accountant"},
+	"dpgvae": baselineTrainer{m: dpgvae.New(), desc: "DPGVAE (Yang et al., IJCAI 2021): graph VAE trained with DPSGD, encoder means released"},
+	"gap":    baselineTrainer{m: gap.New(), desc: "GAP (Sajadmanesh et al., USENIX Security 2023): noisy multi-hop aggregation of random features"},
+	"progap": baselineTrainer{m: progap.New(), desc: "ProGAP (Sajadmanesh & Gatica-Perez, WSDM 2024): progressive staged aggregation, jumping knowledge"},
+}
+
+// aliases maps accepted alternative spellings onto canonical names.
+var aliases = map[string]string{
+	"se-privgemb": Default,
+	"seprivgemb":  Default,
+}
+
+// Canonical resolves a user-supplied method name: empty selects Default,
+// case is folded, and known aliases map onto registry names. Unknown names
+// are an error (the serving layer wraps it into ErrInvalidSpec → 400).
+func Canonical(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if n == "" {
+		return Default, nil
+	}
+	if a, ok := aliases[n]; ok {
+		n = a
+	}
+	if _, ok := registry[n]; !ok {
+		return "", fmt.Errorf("methods: unknown method %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return n, nil
+}
+
+// Get returns the trainer registered under name (after Canonical
+// resolution).
+func Get(name string) (Trainer, error) {
+	n, err := Canonical(name)
+	if err != nil {
+		return nil, err
+	}
+	return registry[n], nil
+}
+
+// Names returns every canonical method name, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Info describes one registered method for listings (the payload behind
+// GET /v1/methods and the facade's Methods()).
+type Info struct {
+	// Name is the canonical registry name ("sepriv", "gap", ...).
+	Name string
+	// Description is the trainer's one-line description.
+	Description string
+	// Default marks the method selected when a spec names none.
+	Default bool
+	// UsesProximity reports whether the method consumes the spec's
+	// structure preference (false for the feature-based baselines, whose
+	// proximity field only contributes to the dedup key).
+	UsesProximity bool
+}
+
+// List returns the registry listing in Name order.
+func List() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, n := range Names() {
+		tr := registry[n]
+		out = append(out, Info{
+			Name:          n,
+			Description:   tr.Describe(),
+			Default:       n == Default,
+			UsesProximity: tr.UsesProximity(),
+		})
+	}
+	return out
+}
+
+// ValidateConfig checks cfg against the named method's admission
+// requirements — the checks that must reject a submission up front (the
+// serving layer maps the error to ErrInvalidSpec → 400) rather than fail a
+// job at training time. For the default method the core trainer's own
+// validation (which needs the resolved graph anyway) is authoritative; for
+// baselines the derived baselines.Config is validated, which is what
+// rejects a non-positive privacy budget or δ ∉ (0,1) at submit.
+func ValidateConfig(name string, g *graph.Graph, cfg core.Config) error {
+	n, err := Canonical(name)
+	if err != nil {
+		return err
+	}
+	if n == Default {
+		return nil
+	}
+	if !cfg.Private {
+		return fmt.Errorf("methods: %s has no non-private variant (private=false is only meaningful for %s)", n, Default)
+	}
+	if err := BaselineConfig(cfg, g).Validate(); err != nil {
+		return fmt.Errorf("methods: %s: %w", n, err)
+	}
+	return nil
+}
+
+// seprivTrainer serves the paper's own method: a direct pass-through to
+// core.TrainContext (Algorithm 2 and its non-private counterpart).
+type seprivTrainer struct{}
+
+func (seprivTrainer) Name() string { return Default }
+func (seprivTrainer) Describe() string {
+	return "SE-PrivGEmb (the paper's method): structure-preference private skip-gram embedding"
+}
+func (seprivTrainer) UsesProximity() bool { return true }
+func (seprivTrainer) Train(ctx context.Context, g *graph.Graph, prox proximity.Proximity, cfg core.Config, hooks core.Hooks) (*core.Result, error) {
+	return core.TrainContext(ctx, g, prox, cfg, hooks)
+}
+
+// baselineTrainer adapts a baselines.Method onto the Trainer contract.
+type baselineTrainer struct {
+	m    baselines.Method
+	desc string
+}
+
+func (b baselineTrainer) Name() string        { return strings.ToLower(b.m.Name()) }
+func (b baselineTrainer) Describe() string    { return b.desc }
+func (b baselineTrainer) UsesProximity() bool { return false }
+
+// Train maps core.Config onto the baseline hyperparameters, runs the
+// method, and lifts its Result into the core shape the serving stack
+// speaks. The proximity argument is ignored (baselines train on features);
+// hooks are ignored too — baselines neither checkpoint nor stream
+// per-epoch stats, and a Resume request is rejected rather than silently
+// dropped.
+func (b baselineTrainer) Train(ctx context.Context, g *graph.Graph, prox proximity.Proximity, cfg core.Config, hooks core.Hooks) (*core.Result, error) {
+	if hooks.Resume != nil {
+		return nil, fmt.Errorf("methods: %s does not support checkpoint resume", b.Name())
+	}
+	if !cfg.Private {
+		return nil, fmt.Errorf("methods: %s has no non-private variant", b.Name())
+	}
+	bcfg := BaselineConfig(cfg, g)
+	rep, err := b.m.Train(ctx, g, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	return liftResult(rep), nil
+}
+
+// BaselineConfig derives the baseline hyperparameters from a resolved
+// core.Config: the shared fields (dim, privacy budget, DPSGD knobs, seed)
+// map one to one, MaxEpochs becomes the epoch cap, and the batch — which
+// baselines sample from NODES, not edges — is clamped to |V|. Hops stays
+// at the baseline default: it has no core.Config counterpart, and adding
+// one would change core.Config.Hash and so invalidate every golden hash
+// and artifact for the paper method (see DESIGN.md §11).
+func BaselineConfig(cfg core.Config, g *graph.Graph) baselines.Config {
+	bcfg := baselines.Config{
+		Dim:          cfg.Dim,
+		Epsilon:      cfg.Epsilon,
+		Delta:        cfg.Delta,
+		Sigma:        cfg.Sigma,
+		Epochs:       cfg.MaxEpochs,
+		BatchSize:    cfg.BatchSize,
+		LearningRate: cfg.LearningRate,
+		Clip:         cfg.Clip,
+		Hops:         baselines.DefaultConfig().Hops,
+		Seed:         cfg.Seed,
+	}
+	if n := g.NumNodes(); bcfg.BatchSize > n {
+		bcfg.BatchSize = n
+	}
+	return bcfg
+}
+
+// liftResult maps a baseline outcome into core.Result. The model's Wout is
+// a zero matrix: baselines have no output-side weights, and the artifact
+// format stores both matrices of a skipgram.Model.
+func liftResult(rep *baselines.Result) *core.Result {
+	emb := rep.Embedding
+	stopped := core.StopCompleted
+	if rep.StoppedByBudget {
+		stopped = core.StopBudget
+	}
+	return &core.Result{
+		Model: &skipgram.Model{
+			Dim:  emb.Cols,
+			Win:  emb,
+			Wout: mathx.NewMatrix(emb.Rows, emb.Cols),
+		},
+		Epochs:          rep.Epochs,
+		Stopped:         stopped,
+		StoppedByBudget: rep.StoppedByBudget,
+		EpsilonSpent:    rep.EpsilonSpent,
+		DeltaSpent:      rep.DeltaSpent,
+	}
+}

@@ -1,0 +1,244 @@
+package methods
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"seprivgemb/internal/core"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/xrand"
+)
+
+func TestCanonical(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"", Default},
+		{"sepriv", Default},
+		{"  SePriv \n", Default},
+		{"se-privgemb", Default},
+		{"SEPrivGEmb", Default},
+		{"gap", "gap"},
+		{"GAP", "gap"},
+		{"ProGAP", "progap"},
+		{"dpggan", "dpggan"},
+		{"DPGVAE", "dpgvae"},
+	} {
+		got, err := Canonical(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("Canonical(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"nope", "sep riv", "gap2"} {
+		if _, err := Canonical(bad); err == nil {
+			t.Errorf("Canonical(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "known:") {
+			t.Errorf("Canonical(%q) error %q does not list the valid names", bad, err)
+		}
+	}
+}
+
+// TestRegistryListing pins the registry surface: the five methods, sorted,
+// exactly one default, proximity consumed only by the paper's method, and
+// a non-empty description everywhere.
+func TestRegistryListing(t *testing.T) {
+	wantNames := []string{"dpggan", "dpgvae", "gap", "progap", "sepriv"}
+	names := Names()
+	if len(names) != len(wantNames) {
+		t.Fatalf("Names() = %v, want %v", names, wantNames)
+	}
+	for i, n := range wantNames {
+		if names[i] != n {
+			t.Fatalf("Names() = %v, want %v", names, wantNames)
+		}
+	}
+	defaults := 0
+	for _, info := range List() {
+		if info.Default {
+			defaults++
+			if info.Name != Default {
+				t.Errorf("default flag on %q, want %q", info.Name, Default)
+			}
+		}
+		if info.Description == "" {
+			t.Errorf("%s has no description", info.Name)
+		}
+		if info.UsesProximity != (info.Name == Default) {
+			t.Errorf("%s UsesProximity = %v", info.Name, info.UsesProximity)
+		}
+		tr, err := Get(info.Name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", info.Name, err)
+		}
+		if tr.Name() != info.Name {
+			t.Errorf("Get(%q).Name() = %q", info.Name, tr.Name())
+		}
+	}
+	if defaults != 1 {
+		t.Errorf("listing has %d defaults, want exactly 1", defaults)
+	}
+	if _, err := Get("unknown"); err == nil {
+		t.Error("Get of an unknown method accepted")
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	g := graph.BarabasiAlbert(30, 2, xrand.New(3))
+	ok := core.DefaultConfig()
+
+	if err := ValidateConfig("", g, ok); err != nil {
+		t.Errorf("default method rejected a default config: %v", err)
+	}
+	if err := ValidateConfig("gap", g, ok); err != nil {
+		t.Errorf("gap rejected a default config: %v", err)
+	}
+	if err := ValidateConfig("bogus", g, ok); err == nil {
+		t.Error("unknown method accepted")
+	}
+
+	nonPriv := ok
+	nonPriv.Private = false
+	if err := ValidateConfig("dpggan", g, nonPriv); err == nil {
+		t.Error("non-private baseline config accepted")
+	}
+	// The default method has a non-private counterpart, so the same config
+	// is fine there.
+	if err := ValidateConfig(Default, g, nonPriv); err != nil {
+		t.Errorf("non-private default config rejected: %v", err)
+	}
+
+	badEps := ok
+	badEps.Epsilon = -1
+	if err := ValidateConfig("dpgvae", g, badEps); err == nil {
+		t.Error("negative epsilon accepted for a baseline")
+	}
+	badDelta := ok
+	badDelta.Delta = 1.5
+	if err := ValidateConfig("progap", g, badDelta); err == nil {
+		t.Error("delta > 1 accepted for a baseline")
+	}
+}
+
+// TestBaselineConfigMapping pins the core.Config → baselines.Config
+// derivation, in particular the node clamp: baselines sample nodes, so a
+// batch larger than |V| must shrink to |V| (not |E|).
+func TestBaselineConfigMapping(t *testing.T) {
+	g := graph.BarabasiAlbert(25, 2, xrand.New(3))
+	cfg := core.DefaultConfig()
+	cfg.Dim = 48
+	cfg.BatchSize = 1000
+	cfg.MaxEpochs = 77
+	cfg.Seed = 9
+
+	bcfg := BaselineConfig(cfg, g)
+	if bcfg.Dim != 48 || bcfg.Epochs != 77 || bcfg.Seed != 9 {
+		t.Errorf("field mapping wrong: %+v", bcfg)
+	}
+	if bcfg.BatchSize != g.NumNodes() {
+		t.Errorf("batch = %d, want clamped to |V| = %d", bcfg.BatchSize, g.NumNodes())
+	}
+	if bcfg.Epsilon != cfg.Epsilon || bcfg.Delta != cfg.Delta || bcfg.Sigma != cfg.Sigma ||
+		bcfg.LearningRate != cfg.LearningRate || bcfg.Clip != cfg.Clip {
+		t.Errorf("privacy/DPSGD knobs diverge: %+v", bcfg)
+	}
+	if err := bcfg.Validate(); err != nil {
+		t.Errorf("derived config invalid: %v", err)
+	}
+}
+
+// TestBaselineTrainerRejections: the adapters refuse what they cannot
+// honor instead of silently dropping it.
+func TestBaselineTrainerRejections(t *testing.T) {
+	g := graph.BarabasiAlbert(20, 2, xrand.New(3))
+	tr, err := Get("gap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Dim = 8
+
+	if _, err := tr.Train(context.Background(), g, nil, cfg, core.Hooks{Resume: &core.Checkpoint{}}); err == nil {
+		t.Error("baseline accepted a resume checkpoint")
+	}
+	nonPriv := cfg
+	nonPriv.Private = false
+	if _, err := tr.Train(context.Background(), g, nil, nonPriv, core.Hooks{}); err == nil {
+		t.Error("baseline accepted a non-private config")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Train(ctx, g, nil, cfg, core.Hooks{}); err == nil {
+		t.Error("baseline ignored a canceled context")
+	}
+}
+
+// fnv1a64 hashes a float64 slice bit-exactly, matching the convention of
+// internal/core's golden test.
+func fnv1a64(xs []float64) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for _, x := range xs {
+		b := math.Float64bits(x)
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// goldenBaselines pins the fixed-seed embedding hash of every baseline as
+// trained THROUGH THE REGISTRY (core.Config mapping included), recorded on
+// linux/amd64 with Go 1.24. The serving stack deduplicates repeated
+// submissions onto one artifact, so baseline training must be bit-identical
+// run to run — and worker-count invariant, since cfg.Workers does not reach
+// the baselines at all. If a change is *meant* to alter baseline numerics,
+// re-record and say why in the commit.
+var goldenBaselines = map[string]uint64{
+	"dpggan": 0x0c7c88d47a23d9c0,
+	"dpgvae": 0xe9b5662bf76626b6,
+	"gap":    0x0081237d6efee0e4,
+	"progap": 0x3665245d2f36f3f6,
+}
+
+// TestGoldenBaselineDeterminism trains each baseline twice per worker
+// count {1, 4} at quick scale and compares against the recorded hashes.
+func TestGoldenBaselineDeterminism(t *testing.T) {
+	g := graph.BarabasiAlbert(60, 2, xrand.New(42))
+	base := core.DefaultConfig()
+	base.Dim = 16
+	base.BatchSize = 32
+	base.MaxEpochs = 5
+	base.Seed = 1
+
+	for name, want := range goldenBaselines {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				cfg := base
+				cfg.Workers = workers
+				res, err := tr.Train(context.Background(), g, nil, cfg, core.Hooks{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Model.Win.Rows != g.NumNodes() || res.Model.Dim != 16 {
+					t.Fatalf("embedding shape %dx%d", res.Model.Win.Rows, res.Model.Dim)
+				}
+				if got := fnv1a64(res.Embedding().Data); got != want {
+					t.Fatalf("golden hash at Workers=%d = %#x, want %#x\n"+
+						"The fixed-seed baseline output changed. If intentional, update goldenBaselines.",
+						workers, got, want)
+				}
+			}
+		})
+	}
+}

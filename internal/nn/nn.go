@@ -209,17 +209,26 @@ func (g *Grads) Clip(c float64) {
 	}
 }
 
-// AddNoise perturbs every coordinate with N(0, sd²).
-func (g *Grads) AddNoise(sd float64, rng *xrand.RNG) {
+// AddNoise perturbs every coordinate with N(0, sd²), addressed through the
+// counter stream by (layer, flat coordinate): layer i draws from the
+// substream s.Derive(i), its weight entry d at counter d and its bias
+// entry d at counter len(W)+d. Index-addressed noise is the determinism
+// contract of the DP training paths (see internal/xrand): the same (seed,
+// layer, coordinate) always receives the same perturbation, independent of
+// draw order, so repeated DPSGD runs of one config are bit-identical.
+func (g *Grads) AddNoise(sd float64, s xrand.Stream) {
 	if sd <= 0 {
 		return
 	}
 	for i := range g.W {
-		for d := range g.W[i].Data {
-			g.W[i].Data[d] += sd * rng.Normal()
+		ls := s.Derive(uint64(i))
+		w := g.W[i].Data
+		for d := range w {
+			w[d] += sd * ls.NormalAt(uint64(d))
 		}
+		off := uint64(len(w))
 		for d := range g.B[i] {
-			g.B[i][d] += sd * rng.Normal()
+			g.B[i][d] += sd * ls.NormalAt(off+uint64(d))
 		}
 	}
 }

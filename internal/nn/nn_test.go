@@ -155,13 +155,24 @@ func TestGradsClipAndNoise(t *testing.T) {
 	if g.Norm() != 0 {
 		t.Error("Zero did not reset")
 	}
-	g.AddNoise(1, xrand.New(4))
+	g.AddNoise(1, xrand.NewStream(4))
 	if g.Norm() == 0 {
 		t.Error("AddNoise added nothing")
 	}
+	// Index-addressed noise is draw-order independent: a fresh Grads
+	// perturbed from the same stream lands on the same coordinates.
+	g2 := NewGrads(m)
+	g2.AddNoise(1, xrand.NewStream(4))
+	for i := range g.B {
+		for d := range g.B[i] {
+			if g.B[i][d] != g2.B[i][d] {
+				t.Fatal("AddNoise is not a pure function of (stream, layer, coordinate)")
+			}
+		}
+	}
 	// Negative sd is a no-op.
 	h := NewGrads(m)
-	h.AddNoise(-1, xrand.New(5))
+	h.AddNoise(-1, xrand.NewStream(5))
 	if h.Norm() != 0 {
 		t.Error("negative-sd AddNoise perturbed gradients")
 	}

@@ -11,10 +11,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"seprivgemb/internal/experiments"
+	"seprivgemb/internal/methods"
 	"seprivgemb/internal/service"
 )
 
@@ -57,6 +59,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "seprivd: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(stdout, "seprivd: methods: %s (default %s)\n",
+		strings.Join(methods.Names(), ", "), methods.Default)
 	httpSrv := &http.Server{Handler: New(svc).Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -111,11 +115,40 @@ func Selftest(baseURL string, out io.Writer) error {
 		return fmt.Errorf("healthz: %w", err)
 	}
 
-	const body = `{
-		"graph": {"inline": {"nodes": 12, "edges": [
+	// The trainer registry must list every method, exactly one of them the
+	// default — the discovery contract clients build method pickers from.
+	var reg struct {
+		Methods []struct {
+			Name    string `json:"name"`
+			Default bool   `json:"default"`
+		} `json:"methods"`
+	}
+	if err := getJSON(client, baseURL+"/v1/methods", http.StatusOK, &reg); err != nil {
+		return fmt.Errorf("methods: %w", err)
+	}
+	listed := make(map[string]bool)
+	defaults := 0
+	for _, m := range reg.Methods {
+		listed[m.Name] = true
+		if m.Default {
+			defaults++
+		}
+	}
+	for _, want := range []string{"sepriv", "dpggan", "dpgvae", "gap", "progap"} {
+		if !listed[want] {
+			return fmt.Errorf("methods listing misses %q: %+v", want, reg.Methods)
+		}
+	}
+	if defaults != 1 {
+		return fmt.Errorf("methods listing has %d defaults, want 1", defaults)
+	}
+
+	const inlineGraph = `{"inline": {"nodes": 12, "edges": [
 			[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,0],
 			[0,6],[1,7],[2,8],[3,9]
-		]}},
+		]}}`
+	const body = `{
+		"graph": ` + inlineGraph + `,
 		"proximity": "degree",
 		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 4, "seed": 42}
 	}`
@@ -217,6 +250,61 @@ func Selftest(baseURL string, out io.Writer) error {
 		}
 	}
 	fmt.Fprintf(out, "selftest: row window and %d-row pagination match the full embedding\n", len(paged))
+
+	// A baseline method over the SAME graph and config must be a different
+	// job (method is part of the dedup key) that also runs to completion
+	// and serves a result — the registry wiring end to end.
+	const gapBody = `{
+		"graph": ` + inlineGraph + `,
+		"method": "gap",
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 4, "seed": 42}
+	}`
+	resp, err = client.Post(baseURL+"/v1/jobs", "application/json", bytes.NewReader([]byte(gapBody)))
+	if err != nil {
+		return fmt.Errorf("submit gap: %w", err)
+	}
+	var gapJob struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Method string `json:"method"`
+	}
+	if err := decodeAs(resp, http.StatusAccepted, &gapJob); err != nil {
+		return fmt.Errorf("submit gap: %w", err)
+	}
+	if gapJob.ID == job.ID {
+		return fmt.Errorf("gap job deduplicated onto the sepriv job %s", job.ID)
+	}
+	if gapJob.Method != "gap" {
+		return fmt.Errorf("gap job reports method %q", gapJob.Method)
+	}
+	for gapJob.Status != "done" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gap job %s stuck in %q", gapJob.ID, gapJob.Status)
+		}
+		if gapJob.Status == "failed" || gapJob.Status == "canceled" {
+			return fmt.Errorf("gap job %s ended %q", gapJob.ID, gapJob.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if err := getJSON(client, baseURL+"/v1/jobs/"+gapJob.ID, http.StatusOK, &gapJob); err != nil {
+			return fmt.Errorf("poll gap: %w", err)
+		}
+	}
+	var gapResult struct {
+		Method        string `json:"method"`
+		Nodes         int    `json:"nodes"`
+		EmbeddingHash string `json:"embeddingHash"`
+	}
+	if err := getJSON(client, baseURL+"/v1/jobs/"+gapJob.ID+"/result?embedding=none", http.StatusOK, &gapResult); err != nil {
+		return fmt.Errorf("gap result: %w", err)
+	}
+	if gapResult.Method != "gap" || gapResult.Nodes != result.Nodes || gapResult.EmbeddingHash == "" {
+		return fmt.Errorf("gap result incomplete: %+v", gapResult)
+	}
+	if gapResult.EmbeddingHash == result.EmbeddingHash {
+		return fmt.Errorf("gap and sepriv produced the same embedding hash %s", result.EmbeddingHash)
+	}
+	fmt.Fprintf(out, "selftest: baseline job %s (gap) served distinctly from %s\n", gapJob.ID, job.ID)
 	return nil
 }
 

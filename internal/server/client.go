@@ -95,8 +95,8 @@ func fetch(addr, jobID, rows string, page int, out, status io.Writer) error {
 		if err := getJSON(client, url, http.StatusOK, &fr); err != nil {
 			return err
 		}
-		fmt.Fprintf(status, "job %s: %dx%d embedding, epochs %d, hash %s; rows [%d, %d)\n",
-			jobID, fr.Nodes, fr.Dim, fr.Epochs, fr.EmbeddingHash, lo, hi)
+		fmt.Fprintf(status, "job %s (%s): %dx%d embedding, epochs %d, hash %s; rows [%d, %d)\n",
+			jobID, fr.Method, fr.Nodes, fr.Dim, fr.Epochs, fr.EmbeddingHash, lo, hi)
 		return writeRowsTSV(out, lo, fr.Embedding)
 	}
 	// Page through the whole embedding on the range cursor; the server
@@ -110,8 +110,8 @@ func fetch(addr, jobID, rows string, page int, out, status io.Writer) error {
 		}
 		if hash == "" {
 			hash = fr.EmbeddingHash
-			fmt.Fprintf(status, "job %s: %dx%d embedding, epochs %d, hash %s\n",
-				jobID, fr.Nodes, fr.Dim, fr.Epochs, fr.EmbeddingHash)
+			fmt.Fprintf(status, "job %s (%s): %dx%d embedding, epochs %d, hash %s\n",
+				jobID, fr.Method, fr.Nodes, fr.Dim, fr.Epochs, fr.EmbeddingHash)
 		} else if fr.EmbeddingHash != hash {
 			return fmt.Errorf("embedding hash changed mid-pagination (%s then %s): result was replaced between pages",
 				hash, fr.EmbeddingHash)

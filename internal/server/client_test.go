@@ -93,3 +93,37 @@ func TestFetchMainDetectsReplacedResult(t *testing.T) {
 		t.Fatal("mid-pagination hash change went unnoticed")
 	}
 }
+
+// TestFetchMainExactPageBoundary (satellite of the final-page fix): paging
+// a 12-row embedding with -page 6 and -page 12 hits the rowCount%limit==0
+// case — the client must stop cleanly on the cursor-less final page with
+// every row fetched exactly once, and its row-count cross-check must pass.
+func TestFetchMainExactPageBoundary(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	id, full := runTinyJob(t, ts, 33)
+
+	for _, page := range []string{"6", "12"} {
+		var out, status strings.Builder
+		if code := FetchMain([]string{"-addr", ts.URL, "-job", id, "-page", page}, &out, &status); code != 0 {
+			t.Fatalf("-page %s exit %d\n%s", page, code, status.String())
+		}
+		lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+		if len(lines) != full.Nodes {
+			t.Fatalf("-page %s fetched %d rows, want %d", page, len(lines), full.Nodes)
+		}
+		seen := map[string]bool{}
+		for i, line := range lines {
+			id := strings.SplitN(line, "\t", 2)[0]
+			if id != fmt.Sprint(i) {
+				t.Fatalf("-page %s row %d labeled %s", page, i, id)
+			}
+			if seen[id] {
+				t.Fatalf("-page %s emitted row %s twice", page, id)
+			}
+			seen[id] = true
+		}
+		if !strings.Contains(status.String(), fmt.Sprintf("fetched %d rows", full.Nodes)) {
+			t.Fatalf("-page %s status %q", page, status.String())
+		}
+	}
+}

@@ -9,6 +9,7 @@
 // Routes (all JSON):
 //
 //	GET    /v1/healthz          liveness
+//	GET    /v1/methods          the trainer registry: every submittable method
 //	POST   /v1/jobs             submit a JobSpec → 202 {id, status, ...}
 //	GET    /v1/jobs/{id}        job status + live progress
 //	GET    /v1/jobs/{id}/result result metadata + optionally embedding rows
@@ -46,6 +47,7 @@ import (
 
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/methods"
 	"seprivgemb/internal/service"
 	"seprivgemb/internal/spec"
 )
@@ -66,6 +68,7 @@ func New(svc *service.Service) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/methods", s.methods)
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
@@ -110,10 +113,29 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// methods serves the trainer registry listing: which method names a spec
+// may submit, which is the default, and whether each consumes the
+// proximity measure. The listing is static per binary (the registry is a
+// fixed map), so clients may cache it.
+func (s *Server) methods(w http.ResponseWriter, r *http.Request) {
+	list := methods.List()
+	resp := spec.MethodsResponse{Methods: make([]spec.MethodInfo, len(list))}
+	for i, m := range list {
+		resp.Methods[i] = spec.MethodInfo{
+			Name:          m.Name,
+			Description:   m.Description,
+			Default:       m.Default,
+			UsesProximity: m.UsesProximity,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func jobView(j *service.Job) jobResponse {
 	resp := jobResponse{
 		ID:       j.ID(),
 		Status:   j.Status().String(),
+		Method:   j.Method(),
 		Priority: j.Priority(),
 		Tenant:   j.Tenant(),
 	}
@@ -196,11 +218,13 @@ func (s *Server) finishedResult(w http.ResponseWriter, r *http.Request) (*servic
 	}
 	res, err := j.Result()
 	if err != nil {
-		// A queued-cancel never trained: there is no result to serve, and
-		// there never will be under this ID unless resubmitted.
+		// No result exists to serve, and there never will be under this ID
+		// unless resubmitted: the job was canceled while queued (never
+		// trained), or ran a method that discards its partial work on
+		// cancel (the baselines, which have no resumable checkpoint).
 		if errors.Is(err, context.Canceled) {
 			writeJSON(w, http.StatusGone, errorResponse{
-				Error:  "job was canceled before training started",
+				Error:  "job was canceled before a result was produced",
 				Status: j.Status().String(),
 			})
 			return nil, nil, false
@@ -217,6 +241,7 @@ func (s *Server) resultMeta(j *service.Job, res *core.Result) resultResponse {
 	resp := resultResponse{
 		ID:           j.ID(),
 		Status:       j.Status().String(),
+		Method:       j.Method(),
 		Stopped:      res.Stopped.String(),
 		Epochs:       res.Epochs,
 		Nodes:        emb.Rows,

@@ -652,3 +652,150 @@ func TestParseEmbedQueryDefaults(t *testing.T) {
 		t.Errorf("clamped page: [%d,%d)", lo, hi)
 	}
 }
+
+// TestMethodsEndpoint pins GET /v1/methods: the full registry listing,
+// name-sorted, exactly one default (sepriv), and the proximity flag that
+// tells clients which methods consume the spec's proximity field.
+func TestMethodsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	resp, err := http.Get(ts.URL + "/v1/methods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("methods: HTTP %d", resp.StatusCode)
+	}
+	var mr spec.MethodsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dpggan", "dpgvae", "gap", "progap", "sepriv"}
+	if len(mr.Methods) != len(want) {
+		t.Fatalf("listing has %d methods, want %d: %+v", len(mr.Methods), len(want), mr)
+	}
+	defaults := 0
+	for i, m := range mr.Methods {
+		if m.Name != want[i] {
+			t.Errorf("method %d = %q, want %q (name-sorted)", i, m.Name, want[i])
+		}
+		if m.Description == "" {
+			t.Errorf("%s served without a description", m.Name)
+		}
+		if m.Default {
+			defaults++
+			if m.Name != "sepriv" {
+				t.Errorf("default flag on %q", m.Name)
+			}
+		}
+		if m.UsesProximity != (m.Name == "sepriv") {
+			t.Errorf("%s usesProximity = %v", m.Name, m.UsesProximity)
+		}
+	}
+	if defaults != 1 {
+		t.Errorf("listing has %d defaults, want exactly 1", defaults)
+	}
+}
+
+// TestSubmitMethodOverHTTP drives a baseline method through the HTTP
+// surface: the job and result responses carry the method, the baseline
+// job is distinct from the default-method job for the identical spec, and
+// malformed method specs are refused with 400 at submit.
+func TestSubmitMethodOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+
+	withMethod := func(extra string) string {
+		return strings.Replace(tinySpecJSON(31), `"proximity"`, extra+`"proximity"`, 1)
+	}
+	resp, jrGap := postSpec(t, ts, withMethod(`"method": "gap",`))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("gap submit: HTTP %d", resp.StatusCode)
+	}
+	if jrGap.Method != "gap" {
+		t.Fatalf("gap job response method = %q", jrGap.Method)
+	}
+	resp, jrDef := postSpec(t, ts, tinySpecJSON(31))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("default submit: HTTP %d", resp.StatusCode)
+	}
+	if jrDef.Method != "sepriv" {
+		t.Fatalf("default job response method = %q", jrDef.Method)
+	}
+	if jrGap.ID == jrDef.ID {
+		t.Fatal("gap and sepriv submissions of one spec shared a job ID")
+	}
+	pollDone(t, ts, jrGap.ID)
+	code, _, rr := fetchResult(t, ts.URL+"/v1/jobs/"+jrGap.ID+"/result?embedding=none")
+	if code != http.StatusOK || rr.Method != "gap" {
+		t.Fatalf("gap result: HTTP %d method %q", code, rr.Method)
+	}
+	// An alias spelling of the default dedups onto the default job.
+	resp, jrAlias := postSpec(t, ts, withMethod(`"method": "SE-PrivGEmb",`))
+	if resp.StatusCode != http.StatusAccepted || jrAlias.ID != jrDef.ID {
+		t.Fatalf("alias submit: HTTP %d id %s, want id %s", resp.StatusCode, jrAlias.ID, jrDef.ID)
+	}
+
+	bad := []struct{ name, body string }{
+		{"unknown method", withMethod(`"method": "word2vec",`)},
+		{"baseline bad epsilon", strings.Replace(withMethod(`"method": "dpgvae",`), `"dim": 8`, `"dim": 8, "epsilon": -1`, 1)},
+		{"baseline bad delta", strings.Replace(withMethod(`"method": "progap",`), `"dim": 8`, `"dim": 8, "delta": 2.0`, 1)},
+		{"baseline non-private", strings.Replace(withMethod(`"method": "dpggan",`), `"dim": 8`, `"dim": 8, "private": false`, 1)},
+	}
+	for _, tc := range bad {
+		resp, _ := postSpec(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestResultPaginationFinalPage pins the last-window contract of the range
+// cursor: when rowCount divides evenly by the limit the final page must
+// still omit range.next and the Link header (the off-by-one would instead
+// hand out a cursor to an empty page), and an offset exactly at the row
+// count is an empty page, not an error or a further cursor.
+func TestResultPaginationFinalPage(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 2})
+	id, full := runTinyJob(t, ts, 32) // 12 nodes
+
+	checkFinal := func(query string, wantRows int) {
+		t.Helper()
+		code, hdr, pg := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?"+query)
+		if code != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", query, code)
+		}
+		if pg.RowCount != wantRows {
+			t.Fatalf("%s: rowCount %d, want %d", query, pg.RowCount, wantRows)
+		}
+		if pg.Range == nil || pg.Range.Next != "" {
+			t.Fatalf("%s: final page carries cursor %+v", query, pg.Range)
+		}
+		if link := hdr.Get("Link"); link != "" {
+			t.Fatalf("%s: final page carries Link header %q", query, link)
+		}
+	}
+
+	// 12 % 6 == 0: the page ending exactly at the last row is final.
+	code, hdr, first := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=range&offset=0&limit=6")
+	if code != http.StatusOK || first.Range == nil || first.Range.Next == "" || hdr.Get("Link") == "" {
+		t.Fatalf("first of two exact pages must carry a cursor: %+v", first.Range)
+	}
+	checkFinal("embedding=range&offset=6&limit=6", 6)
+	checkFinal("embedding=range&offset=8&limit=4", 4)
+	// One exact-fit page is both first and final.
+	checkFinal("embedding=range&offset=0&limit=12", 12)
+	// Offset exactly at the row count: empty page, no cursor.
+	checkFinal("embedding=range&offset=12&limit=6", 0)
+
+	// The two exact pages reassemble the full matrix.
+	_, _, second := fetchResult(t, ts.URL+"/v1/jobs/"+id+"/result?embedding=range&offset=6&limit=6")
+	got := append(append([][]float64{}, first.Embedding...), second.Embedding...)
+	if len(got) != full.Nodes {
+		t.Fatalf("exact pages reassembled %d of %d rows", len(got), full.Nodes)
+	}
+	for i := range got {
+		if !float64sEqual(got[i], full.Embedding[i]) {
+			t.Fatalf("exact-page row %d diverges", i)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/graph"
 	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/methods"
 	"seprivgemb/internal/proximity"
 	"seprivgemb/internal/spec"
 )
@@ -322,6 +323,9 @@ func (j *Job) Key() experiments.ResultKey { return j.key }
 // Tenant returns the tenant recorded at submission ("" for the Go API).
 func (j *Job) Tenant() string { return j.tenant }
 
+// Method returns the canonical name of the training method this job runs.
+func (j *Job) Method() string { return keyMethod(j.key) }
+
 // Priority returns the job's effective admission priority: the highest
 // priority any deduplicated submitter asked for (adoption boosts, never
 // lowers, so a high-priority caller is not stuck behind the original
@@ -404,11 +408,27 @@ func (j *Job) EmbeddingHash() (uint64, bool) {
 }
 
 // JobID returns the stable job identifier for a deduplication key (the ID
-// a submission with that key would receive).
+// a submission with that key would receive). The default method keeps the
+// pre-registry hash preimage, so every job ID (and on-disk artifact) minted
+// before methods existed still resolves to the same sepriv job; non-default
+// methods prepend their name, which is what keeps two methods over one
+// (graph, proximity, config) from ever colliding.
 func JobID(key experiments.ResultKey) string {
 	h := fnv.New64a()
+	if m := keyMethod(key); m != methods.Default {
+		fmt.Fprintf(h, "%s|", m)
+	}
 	fmt.Fprintf(h, "%016x|%s|%016x", key.Graph, key.Proximity, key.Config)
 	return fmt.Sprintf("j%016x", h.Sum64())
+}
+
+// keyMethod returns the key's method, normalizing the pre-registry empty
+// field to the default method so old and new keys mean the same job.
+func keyMethod(key experiments.ResultKey) string {
+	if key.Method == "" {
+		return methods.Default
+	}
+	return key.Method
 }
 
 // JobByID returns the job currently registered under id. After a failed or
@@ -474,14 +494,28 @@ func (s *Service) ResultRows(id string, lo, hi int) (*core.EmbeddingWindow, erro
 	}, nil
 }
 
-// Submit enqueues a training run at default priority with no tenant and
-// returns its Job — the in-process Go API. If an identical submission —
-// equal graph fingerprint, proximity name, and result-shaping config
-// (core.Config.Hash, which ignores Workers) — is already queued, running,
-// or completed, that existing Job is returned instead of starting a
-// duplicate; failed or canceled predecessors are replaced by a fresh run.
+// Submit enqueues a training run of the default method (sepriv) at default
+// priority with no tenant and returns its Job — the in-process Go API. If
+// an identical submission — equal method, graph fingerprint, proximity
+// name, and result-shaping config (core.Config.Hash, which ignores
+// Workers) — is already queued, running, or completed, that existing Job is
+// returned instead of starting a duplicate; failed or canceled predecessors
+// are replaced by a fresh run.
 func (s *Service) Submit(g *graph.Graph, prox proximity.Proximity, cfg core.Config) (*Job, error) {
-	return s.submit(g, prox, cfg, 0, "", false)
+	return s.SubmitMethod(methods.Default, g, prox, cfg)
+}
+
+// SubmitMethod is Submit for an explicit registry method ("sepriv",
+// "dpggan", "dpgvae", "gap", "progap"). The method is part of the
+// deduplication key, so distinct methods over one (graph, proximity,
+// config) are distinct jobs with distinct IDs and artifacts. Unknown
+// methods and configs the method rejects (e.g. a non-positive privacy
+// budget for a baseline) fail with ErrInvalidSpec.
+func (s *Service) SubmitMethod(method string, g *graph.Graph, prox proximity.Proximity, cfg core.Config) (*Job, error) {
+	if err := methods.ValidateConfig(method, g, cfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	return s.submit(method, g, prox, cfg, 0, "", false)
 }
 
 // SubmitSpec resolves a declarative JobSpec — graph source, proximity by
@@ -520,14 +554,29 @@ func (s *Service) SubmitSpec(sp spec.JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
 	}
-	return s.submit(g, prox, cfg, sp.Priority, sp.Tenant, true)
+	// Method-specific config validation needs the resolved graph (batch
+	// clamping) and so runs after resolution but before admission: a
+	// baseline spec with a non-positive privacy budget must be a 400, not a
+	// job that fails at training time.
+	if err := methods.ValidateConfig(sp.Method, g, cfg); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	return s.submit(sp.Method, g, prox, cfg, sp.Priority, sp.Tenant, true)
 }
 
 // submit is the shared admission path of both transports. materialize
 // asks the run to swap the (cheap, lazy) proximity for the memo's
-// materialized matrix once it holds worker slots.
-func (s *Service) submit(g *graph.Graph, prox proximity.Proximity, cfg core.Config, priority int, tenant string, materialize bool) (*Job, error) {
+// materialized matrix once it holds worker slots (only honoured for
+// methods that consume proximity). The method name is canonicalized into
+// the key here, so "" and "sepriv" — and any future alias — land on one
+// job.
+func (s *Service) submit(method string, g *graph.Graph, prox proximity.Proximity, cfg core.Config, priority int, tenant string, materialize bool) (*Job, error) {
+	mname, err := methods.Canonical(method)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
 	key := experiments.ResultKey{
+		Method:    mname,
 		Graph:     g.Fingerprint(),
 		Proximity: prox.Name(),
 		Config:    cfg.Hash(),
@@ -648,13 +697,23 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 	// because it never changes a result bit.
 	cfg.Workers = n
 	j.status.Store(int32(StatusRunning))
+	tr, err := methods.Get(j.key.Method)
+	if err != nil {
+		// Unreachable after submit's canonicalization; belt-and-braces for a
+		// key restored from elsewhere.
+		j.err = err
+		j.status.Store(int32(StatusFailed))
+		return
+	}
 	// Spec-resolved jobs swap the lazy measure for the memo's materialized
 	// matrix HERE, under the slots just acquired — submission-time
 	// materialization would run outside the worker budget and block the
 	// transport. Safe to swap: lazy At and materialized rows are
 	// bit-identical for every registered measure (the dedup contract,
-	// proximity.TestAtMatchesMaterializedEverywhere).
-	if materialize {
+	// proximity.TestAtMatchesMaterializedEverywhere). Methods that never
+	// read the proximity (the feature-based baselines) skip the build; the
+	// measure still participates in the dedup key.
+	if materialize && tr.UsesProximity() {
 		mp, err := s.opts.Memo.Proximity(g, prox.Name(), n)
 		if err != nil {
 			j.err = err
@@ -673,7 +732,7 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 				return cached, nil
 			}
 		}
-		res, err := core.TrainContext(ctx, g, prox, cfg, core.Hooks{
+		res, err := tr.Train(ctx, g, prox, cfg, core.Hooks{
 			Epoch: func(st core.EpochStats) { j.stats.Store(st) },
 		})
 		if err == nil && res.Stopped != core.StopCanceled && s.store != nil {

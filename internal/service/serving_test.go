@@ -510,3 +510,139 @@ func TestAdoptionBoostsPriority(t *testing.T) {
 	jLow.Cancel()
 	restore()
 }
+
+// TestMethodSeparation is the collision bugfix pin: an identical (graph,
+// proximity, config) submitted under two different methods must never
+// share a job, a job ID, or an artifact file — before the method joined
+// the dedup key, both submissions collapsed onto whichever trainer ran
+// first. Identical method submissions still dedup across the spec and Go
+// APIs, including alias/case spellings.
+func TestMethodSeparation(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{MaxWorkers: 2, ArtifactDir: dir})
+	defer s.Close()
+
+	sp := ringSpec()
+	jDefault, err := s.SubmitSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spGap := ringSpec()
+	spGap.Method = "gap"
+	jGap, err := s.SubmitSpec(spGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jGap == jDefault || jGap.ID() == jDefault.ID() {
+		t.Fatalf("distinct methods shared a job (IDs %s, %s)", jDefault.ID(), jGap.ID())
+	}
+	if jDefault.Method() != "sepriv" || jGap.Method() != "gap" {
+		t.Fatalf("job methods = %q, %q", jDefault.Method(), jGap.Method())
+	}
+	// The default method's ID stays the legacy (pre-method) function of the
+	// key, so PR 5 artifacts and clients keep resolving.
+	legacy := jDefault.Key()
+	legacy.Method = ""
+	if JobID(legacy) != jDefault.ID() {
+		t.Fatal("default-method job ID drifted from the legacy key function")
+	}
+
+	// Cross-API and alias dedup: the Go API with a case-folded spelling
+	// adopts the spec-submitted gap job.
+	g := ringGraph(t)
+	cfg := core.DefaultConfig()
+	cfg.Dim = 8
+	cfg.BatchSize = 16
+	cfg.MaxEpochs = 5
+	cfg.Seed = 1
+	jGo, err := s.SubmitMethod("GAP", g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jGo != jGap {
+		t.Fatal("Go-API gap submission did not dedup onto the spec-submitted job")
+	}
+
+	resD, err := jDefault.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resG, err := jGap.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash64(resD.Embedding().Data) == hash64(resG.Embedding().Data) {
+		t.Fatal("two different training methods produced the identical embedding")
+	}
+
+	// Each method persisted its own artifact under a distinct file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("artifact dir holds %v, want two distinct files", names)
+	}
+
+	// A repeat gap submission on a FRESH service is served from the gap
+	// artifact, bit-identically — the determinism the dedup layer relies on.
+	s2 := New(Options{MaxWorkers: 1, ArtifactDir: dir})
+	defer s2.Close()
+	jAgain, err := s2.SubmitSpec(spGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAgain, err := jAgain.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, trained := jAgain.Progress(); trained {
+		t.Fatal("repeat gap submission retrained instead of loading its artifact")
+	}
+	if hash64(resAgain.Embedding().Data) != hash64(resG.Embedding().Data) {
+		t.Fatal("artifact-served gap embedding differs from the trained one")
+	}
+}
+
+// TestSubmitSpecMethodValidation (satellite 3): malformed method specs are
+// refused at submission with ErrInvalidSpec — an unknown name, a baseline
+// with a non-positive privacy budget, δ outside (0,1), or private=false.
+func TestSubmitSpecMethodValidation(t *testing.T) {
+	s := New(Options{MaxWorkers: 1})
+	defer s.Close()
+
+	mk := func(mutate func(*spec.JobSpec)) spec.JobSpec {
+		sp := ringSpec()
+		mutate(&sp)
+		return sp
+	}
+	f := false
+	bad := []spec.JobSpec{
+		mk(func(sp *spec.JobSpec) { sp.Method = "no-such-method" }),
+		mk(func(sp *spec.JobSpec) { sp.Method = "gap"; sp.Config.Epsilon = -2 }),
+		mk(func(sp *spec.JobSpec) { sp.Method = "dpgvae"; sp.Config.Delta = 1.5 }),
+		mk(func(sp *spec.JobSpec) { sp.Method = "dpggan"; sp.Config.Private = &f }),
+	}
+	for i, sp := range bad {
+		if _, err := s.SubmitSpec(sp); !errors.Is(err, ErrInvalidSpec) {
+			t.Errorf("bad method spec %d: err = %v, want ErrInvalidSpec", i, err)
+		}
+	}
+	// The same knobs are legal for the default method (which has its own
+	// validation and a non-private counterpart).
+	okSpec := mk(func(sp *spec.JobSpec) { sp.Config.Private = &f })
+	if _, err := s.SubmitSpec(okSpec); err != nil {
+		t.Errorf("non-private default spec rejected: %v", err)
+	}
+	// And SubmitMethod applies the identical gate on the Go path.
+	g := ringGraph(t)
+	cfg := core.DefaultConfig()
+	cfg.Private = false
+	if _, err := s.SubmitMethod("gap", g, proximity.NewDegree(g), cfg); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("SubmitMethod non-private gap: err = %v, want ErrInvalidSpec", err)
+	}
+}

@@ -2,15 +2,19 @@ package service
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/methods"
 	"seprivgemb/internal/skipgram"
 )
 
@@ -40,15 +44,20 @@ const artifactVersionV1 = 1
 type artifactHeader struct {
 	Version          int
 	GraphFingerprint uint64
-	Proximity        string
-	ConfigHash       uint64
-	Nodes, Dim       int
-	Epochs           int
-	Stopped          int
-	StoppedByBudget  bool
-	EpsilonSpent     float64
-	DeltaSpent       float64
-	LossHistory      []float64
+	// Method is the canonical training-method name. Gob drops absent
+	// fields, so pre-registry artifacts decode with Method == "", which
+	// checkHeader treats as the default method — no version bump needed,
+	// and new artifacts remain readable by the old decoder the same way.
+	Method          string
+	Proximity       string
+	ConfigHash      uint64
+	Nodes, Dim      int
+	Epochs          int
+	Stopped         int
+	StoppedByBudget bool
+	EpsilonSpent    float64
+	DeltaSpent      float64
+	LossHistory     []float64
 	// EmbeddingHash is mathx.DigestFloat64s over the full Win (v3 only;
 	// zero in v1 artifacts, whose gob stream predates the field).
 	EmbeddingHash uint64
@@ -60,6 +69,9 @@ type artifactHeader struct {
 // deduplication key, named by the stable job ID.
 type Store struct {
 	dir string
+	// legacyOnce bounds the degraded-path log for pre-index artifacts to
+	// one line per Store, not one per request.
+	legacyOnce sync.Once
 }
 
 // NewStore opens (creating if needed) an artifact directory.
@@ -71,10 +83,16 @@ func NewStore(dir string) (*Store, error) {
 }
 
 // path places a key's artifact. JobID is a hex-safe pure function of the
-// key, so the name needs no escaping; the proximity name is appended
-// readably for operators (sanitized — names are ASCII identifiers, but a
-// custom Proximity could say otherwise).
+// key, so the name needs no escaping; the method (for non-default methods)
+// and proximity names are appended readably for operators (sanitized —
+// registry names are ASCII identifiers, but a custom Proximity could say
+// otherwise). Default-method artifacts keep the pre-registry filename, so
+// results persisted before methods existed are still found.
 func (st *Store) path(key experiments.ResultKey) string {
+	if m := keyMethod(key); m != methods.Default {
+		return filepath.Join(st.dir, fmt.Sprintf("%s-%s-%s.result.gob",
+			JobID(key), sanitizeName(m), sanitizeName(key.Proximity)))
+	}
 	return filepath.Join(st.dir, fmt.Sprintf("%s-%s.result.gob", JobID(key), sanitizeName(key.Proximity)))
 }
 
@@ -124,6 +142,7 @@ func writeArtifact(w io.Writer, key experiments.ResultKey, res *core.Result) err
 	hdr := artifactHeader{
 		Version:          artifactVersion,
 		GraphFingerprint: key.Graph,
+		Method:           keyMethod(key),
 		Proximity:        key.Proximity,
 		ConfigHash:       key.Config,
 		Nodes:            res.Model.Win.Rows,
@@ -160,12 +179,19 @@ func (st *Store) Load(key experiments.ResultKey) (*core.Result, bool) {
 }
 
 // checkHeader validates an artifact header against the requested key and
-// the version the surrounding framing implies.
+// the version the surrounding framing implies. Methods compare after
+// normalization: an empty header field (pre-registry artifact) and an
+// empty key field both mean the default method.
 func checkHeader(hdr *artifactHeader, key experiments.ResultKey, wantVersion int) error {
+	hdrMethod := hdr.Method
+	if hdrMethod == "" {
+		hdrMethod = methods.Default
+	}
 	switch {
 	case hdr.Version != wantVersion:
 		return fmt.Errorf("artifact version %d, want %d", hdr.Version, wantVersion)
-	case hdr.GraphFingerprint != key.Graph || hdr.Proximity != key.Proximity || hdr.ConfigHash != key.Config:
+	case hdr.GraphFingerprint != key.Graph || hdrMethod != keyMethod(key) ||
+		hdr.Proximity != key.Proximity || hdr.ConfigHash != key.Config:
 		return fmt.Errorf("artifact key mismatch")
 	case hdr.Nodes < 1 || hdr.Dim < 1 || hdr.Nodes > int(^uint(0)>>1)/hdr.Dim:
 		return fmt.Errorf("artifact claims impossible shape %dx%d", hdr.Nodes, hdr.Dim)
@@ -231,11 +257,12 @@ func readArtifact(r io.Reader, key experiments.ResultKey) (*core.Result, error) 
 // LoadRows decodes only rows [lo, hi) of the persisted embedding for key,
 // seeking through the artifact's row-offset index so memory and I/O are
 // O(window·r) no matter how many nodes the full matrix holds — the
-// serving path for partial embeddings of million-node results. Unlike
-// Load, failures are returned (not folded to a bool): the caller is
-// serving a read, not deciding whether to retrain, so "no artifact",
-// "legacy artifact without an index" (core.ErrNoRowIndex), "bad window",
-// and "corrupt index" all deserve distinct reports.
+// serving path for partial embeddings of million-node results. A legacy
+// (v1) artifact without an index degrades to a sequential full decode
+// instead of failing — see loadRowsLegacy. Unlike Load, other failures are
+// returned (not folded to a bool): the caller is serving a read, not
+// deciding whether to retrain, so "no artifact", "bad window", and
+// "corrupt index" all deserve distinct reports.
 func (st *Store) LoadRows(key experiments.ResultKey, lo, hi int) (*core.EmbeddingWindow, error) {
 	f, err := os.Open(st.path(key))
 	if err != nil {
@@ -249,6 +276,13 @@ func (st *Store) LoadRows(key experiments.ResultKey, lo, hi int) (*core.Embeddin
 	size := fi.Size()
 	ix, err := core.ReadRowIndex(f, size)
 	if err != nil {
+		// A pre-index (v1) artifact is a degraded path, not a dead end: fall
+		// back to a sequential full decode and slice the window in memory.
+		// O(|V|·r) instead of O(window·r), but legacy artifacts keep serving
+		// row ranges until their job is retrained under the new format.
+		if errors.Is(err, core.ErrNoRowIndex) {
+			return st.loadRowsLegacy(f, key, lo, hi)
+		}
 		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
 	}
 	var hdr artifactHeader
@@ -272,5 +306,36 @@ func (st *Store) LoadRows(key experiments.ResultKey, lo, hi int) (*core.Embeddin
 		Dim:       hdr.Dim,
 		Rows:      m,
 		FullHash:  hdr.EmbeddingHash,
+	}, nil
+}
+
+// loadRowsLegacy serves a row window from a v1 artifact, which has no
+// row-offset index: decode the whole result sequentially (the only read
+// the format supports) and cut the window from the in-memory matrix. The
+// full-embedding digest is computed here — v1 headers predate the
+// EmbeddingHash field — so the window contract (verifiable against the
+// whole matrix) still holds. The degraded path is logged once per Store.
+func (st *Store) loadRowsLegacy(f *os.File, key experiments.ResultKey, lo, hi int) (*core.EmbeddingWindow, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
+	}
+	res, err := readArtifact(f, key)
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
+	}
+	m, err := res.Rows(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact for job %s: %w", JobID(key), err)
+	}
+	st.legacyOnce.Do(func() {
+		log.Printf("service: artifact for job %s predates the row index (v1); serving row windows by full decode until the job is retrained", JobID(key))
+	})
+	emb := res.Embedding()
+	return &core.EmbeddingWindow{
+		Lo: lo, Hi: hi,
+		TotalRows: emb.Rows,
+		Dim:       emb.Cols,
+		Rows:      m,
+		FullHash:  mathx.DigestFloat64s(emb.Data),
 	}, nil
 }

@@ -142,8 +142,9 @@ func writeLegacyV1Artifact(t *testing.T, st *Store, key experiments.ResultKey, r
 }
 
 // TestStoreLegacyV1Compat: v1 artifacts written by PR 4 still fully load,
-// and a row-range request on one reports ErrNoRowIndex — cleanly telling
-// "old format" apart from corruption.
+// and a row-range request on one is served through the sequential-decode
+// fallback — same window contract as the indexed path (correct rows,
+// verifiable full hash), just without the O(window) memory bound.
 func TestStoreLegacyV1Compat(t *testing.T) {
 	st, err := NewStore(t.TempDir())
 	if err != nil {
@@ -163,8 +164,26 @@ func TestStoreLegacyV1Compat(t *testing.T) {
 		t.Fatal("legacy v1 decode changed the result")
 	}
 
-	if _, err := st.LoadRows(key, 0, 10); !errors.Is(err, core.ErrNoRowIndex) {
-		t.Errorf("LoadRows on a v1 artifact: err = %v, want ErrNoRowIndex", err)
+	wantHash := mathx.DigestFloat64s(res.Model.Win.Data)
+	for _, w := range [][2]int{{0, 10}, {0, 300}, {299, 300}, {100, 100}} {
+		lo, hi := w[0], w[1]
+		win, err := st.LoadRows(key, lo, hi)
+		if err != nil {
+			t.Fatalf("LoadRows(%d, %d) on a v1 artifact: %v", lo, hi, err)
+		}
+		if win.TotalRows != 300 || win.Dim != 8 || win.FullHash != wantHash {
+			t.Fatalf("v1 fallback window metadata %+v", win)
+		}
+		want := res.Model.Win.Data[lo*8 : hi*8]
+		if !reflect.DeepEqual(win.Rows.Data, append([]float64{}, want...)) {
+			t.Errorf("v1 fallback LoadRows(%d, %d) diverges from the full matrix", lo, hi)
+		}
+	}
+	// Out-of-range windows are still refused on the fallback path.
+	for _, w := range [][2]int{{-1, 5}, {5, 3}, {0, 301}} {
+		if _, err := st.LoadRows(key, w[0], w[1]); err == nil {
+			t.Errorf("v1 fallback accepted window (%d, %d)", w[0], w[1])
+		}
 	}
 }
 

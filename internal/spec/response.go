@@ -11,6 +11,7 @@ package spec
 type JobResponse struct {
 	ID       string        `json:"id"`
 	Status   string        `json:"status"`
+	Method   string        `json:"method"`
 	Priority int           `json:"priority,omitempty"`
 	Tenant   string        `json:"tenant,omitempty"`
 	Progress *ProgressInfo `json:"progress,omitempty"`
@@ -34,6 +35,7 @@ type ProgressInfo struct {
 type ResultResponse struct {
 	ID            string      `json:"id"`
 	Status        string      `json:"status"`
+	Method        string      `json:"method"`
 	Stopped       string      `json:"stopped"`
 	Epochs        int         `json:"epochs"`
 	Nodes         int         `json:"nodes"`
@@ -55,6 +57,19 @@ type RangeInfo struct {
 	Offset int    `json:"offset"`
 	Limit  int    `json:"limit"`
 	Next   string `json:"next,omitempty"`
+}
+
+// MethodInfo is the wire form of one registry entry in GET /v1/methods.
+type MethodInfo struct {
+	Name          string `json:"name"`
+	Description   string `json:"description"`
+	Default       bool   `json:"default,omitempty"`
+	UsesProximity bool   `json:"usesProximity"`
+}
+
+// MethodsResponse is the GET /v1/methods listing.
+type MethodsResponse struct {
+	Methods []MethodInfo `json:"methods"`
 }
 
 // ErrorResponse carries every non-2xx body.

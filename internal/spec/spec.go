@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"seprivgemb/internal/core"
+	"seprivgemb/internal/methods"
 )
 
 // JobSpec is one declarative training request. The zero value is invalid;
@@ -33,10 +34,17 @@ import (
 type JobSpec struct {
 	// Graph names the training graph (exactly one source must be set).
 	Graph GraphSource `json:"graph"`
+	// Method selects the training method from the registry
+	// (internal/methods): "sepriv" (the paper's method, the default when
+	// omitted), "dpggan", "dpgvae", "gap", or "progap". Unknown names are
+	// rejected at validation. The method is part of the deduplication key:
+	// two specs differing only in method are two distinct jobs.
+	Method string `json:"method,omitempty"`
 	// Proximity is the structure-preference measure by name, as accepted
 	// by proximity.ByName ("deepwalk", "degree", "common-neighbors",
 	// "preferential-attachment", "adamic-adar", "resource-allocation",
-	// "katz", "pagerank", or their short aliases).
+	// "katz", "pagerank", or their short aliases). Required even for
+	// methods that do not consume it (it stays part of the job identity).
 	Proximity string `json:"proximity"`
 	// Config holds the Algorithm 2 hyperparameters; zero fields take the
 	// paper's defaults (see ConfigSpec).
@@ -146,6 +154,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if n != 1 {
 		return fmt.Errorf("spec: exactly one graph source (dataset, inline, file) required, got %d", n)
+	}
+	if _, err := methods.Canonical(s.Method); err != nil {
+		return fmt.Errorf("spec: %w", err)
 	}
 	if s.Proximity == "" {
 		return fmt.Errorf("spec: proximity measure is required")

@@ -1,6 +1,7 @@
 package seprivgemb_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -79,11 +80,11 @@ func TestBaselinesExposed(t *testing.T) {
 	cfg.Epochs = 3
 	cfg.BatchSize = 16
 	for _, m := range methods {
-		emb, err := m.Train(g, cfg)
+		res, err := m.Train(context.Background(), g, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name(), err)
 		}
-		if emb.Rows != g.NumNodes() {
+		if res.Embedding.Rows != g.NumNodes() {
 			t.Fatalf("%s: wrong embedding shape", m.Name())
 		}
 	}

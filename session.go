@@ -7,6 +7,7 @@ import (
 
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/experiments"
+	"seprivgemb/internal/methods"
 	"seprivgemb/internal/service"
 	"seprivgemb/internal/spec"
 )
@@ -63,7 +64,26 @@ type (
 	// DecodeCheckpointRows decode one from the artifact store or an
 	// indexed checkpoint at O(window·r) memory.
 	EmbeddingWindow = core.EmbeddingWindow
+	// MethodInfo describes one entry of the trainer registry — name,
+	// description, default flag, and whether the method consumes the
+	// structure preference. See Methods.
+	MethodInfo = methods.Info
 )
+
+// DefaultMethod is the training method selected when none is named:
+// "sepriv", the paper's own algorithm.
+const DefaultMethod = methods.Default
+
+// Methods lists the trainer registry — the paper's method and the four
+// reproduced baselines — in name order. Every listed name is valid for
+// WithMethod, Service.SubmitMethod, JobSpec.Method, and the `sepriv
+// -method` flag; the HTTP API serves the same listing at GET /v1/methods.
+func Methods() []MethodInfo { return methods.List() }
+
+// CanonicalMethod resolves a method name the way every entry point does —
+// trimmed, case-folded, aliases collapsed, "" meaning DefaultMethod — or
+// fails listing the valid names.
+func CanonicalMethod(name string) (string, error) { return methods.Canonical(name) }
 
 // ErrQuotaExceeded, ErrInvalidSpec and ErrServiceClosed classify
 // submission failures (test with errors.Is); the HTTP front-end maps
@@ -116,6 +136,7 @@ type Session struct {
 	g       *Graph
 	prox    Proximity
 	cfg     Config
+	method  string
 	hooks   core.Hooks
 	cache   bool
 	matOnce sync.Once
@@ -168,9 +189,20 @@ func WithCheckpointEvery(n int, sink func(*Checkpoint)) Option {
 // WithResume restores the run from a checkpoint instead of starting at
 // epoch 0. The session's graph and config must match the recorded run
 // (Workers and MaxEpochs may differ); the resumed run is bit-identical to
-// one that never stopped.
+// one that never stopped. Only the default method supports resume.
 func WithResume(ck *Checkpoint) Option {
 	return func(s *Session) { s.hooks.Resume = ck }
+}
+
+// WithMethod selects the training method by registry name: "sepriv" (the
+// default), "dpggan", "dpgvae", "gap", or "progap" — see Methods for the
+// listing. Baselines ignore proximity (it is required only for job
+// identity when submitting through a Service) and the checkpoint/resume
+// hooks; they map Config onto their own hyperparameters (MaxEpochs → epoch
+// cap, BatchSize clamped to |V|) and are always private. An unknown name
+// fails at Run.
+func WithMethod(name string) Option {
+	return func(s *Session) { s.method = name }
 }
 
 // NewSession builds a training session over g with the given structure
@@ -187,22 +219,30 @@ func NewSession(g *Graph, prox Proximity, opts ...Option) *Session {
 // Config returns the session's resolved configuration.
 func (s *Session) Config() Config { return s.cfg }
 
-// Run executes the training job (Algorithm 2, or its non-private
-// counterpart) under ctx.
+// Run executes the training job — Algorithm 2 or its non-private
+// counterpart by default, or the WithMethod-selected baseline — under ctx.
 //
-// Cancellation is honored at epoch granularity: a canceled or expired
-// context ends the run with the best-so-far *Result — not an error — whose
-// Stopped field is StopCanceled, Epochs counts the completed epochs, and
-// Checkpoint resumes the run bit-identically (hand it to a new session via
-// WithResume). Errors are reserved for invalid graphs, configs, or
-// checkpoints. A nil ctx behaves as context.Background().
+// For the default method, cancellation is honored at epoch granularity: a
+// canceled or expired context ends the run with the best-so-far *Result —
+// not an error — whose Stopped field is StopCanceled, Epochs counts the
+// completed epochs, and Checkpoint resumes the run bit-identically (hand
+// it to a new session via WithResume). Baselines have no resumable partial
+// state, so a canceled baseline run returns ctx's error instead. Errors
+// are otherwise reserved for invalid graphs, configs, checkpoints, or
+// method names. A nil ctx behaves as context.Background().
 func (s *Session) Run(ctx context.Context) (*Result, error) {
+	tr, err := methods.Get(s.method)
+	if err != nil {
+		return nil, err
+	}
 	s.matOnce.Do(func() {
-		if s.cache {
+		// Materialization only pays off for methods that read the measure;
+		// the feature-based baselines never do.
+		if s.cache && tr.UsesProximity() {
 			s.prox = MaterializeProximity(s.prox, s.cfg.Workers)
 		}
 	})
-	return core.TrainContext(ctx, s.g, s.prox, s.cfg, s.hooks)
+	return tr.Train(ctx, s.g, s.prox, s.cfg, s.hooks)
 }
 
 // Service queues concurrent training jobs behind one worker budget,
@@ -237,6 +277,18 @@ func (s *Service) Submit(g *Graph, prox Proximity, cfg Config) (*Job, error) {
 		return nil, fmt.Errorf("seprivgemb: Submit needs a graph and a proximity")
 	}
 	return s.svc.Submit(g, prox, cfg)
+}
+
+// SubmitMethod is Submit for an explicit registry method (see Methods).
+// The method is part of the job identity: distinct methods over one
+// (graph, proximity, config) are distinct jobs with distinct IDs, results,
+// and artifacts, while identical (method, graph, proximity, config)
+// submissions — over any transport — share one job.
+func (s *Service) SubmitMethod(method string, g *Graph, prox Proximity, cfg Config) (*Job, error) {
+	if g == nil || prox == nil {
+		return nil, fmt.Errorf("seprivgemb: SubmitMethod needs a graph and a proximity")
+	}
+	return s.svc.SubmitMethod(method, g, prox, cfg)
 }
 
 // SubmitSpec enqueues a declarative JobSpec: the graph source is resolved
