@@ -1,14 +1,18 @@
 GO ?= go
 # Benchmark → JSON recording for the perf trajectory; bump per PR.
-BENCH_JSON ?= BENCH_pr6.json
+BENCH_JSON ?= BENCH_pr7.json
 # The previous PR's recording, the regression baseline for bench-diff.
-BENCH_BASE ?= BENCH_pr5.json
+BENCH_BASE ?= BENCH_pr6.json
 # The sharded-stage benchmarks: the DP noise/update stage, the one-shot
 # graph passes, the whole-train scaling curve, the sharded evaluation
-# metrics (PR 3), and the sharded proximity stats/edge-weight scans (PR 4).
-BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|StrucEquWorkers|LinkAUCWorkers|ComputeStatsWorkers|EdgeWeightsWorkers
+# metrics (PR 3), the sharded proximity stats/edge-weight scans (PR 4),
+# and the mathx kernel layer (PR 7) — unrolled reductions plus the fused
+# skip-gram kernels.
+BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|StrucEquWorkers|LinkAUCWorkers|ComputeStatsWorkers|EdgeWeightsWorkers|BenchmarkDot|BenchmarkNorm2Sq|BenchmarkAXPY|BenchmarkDotSigmoid|BenchmarkAXPY2|BenchmarkScaleTo2|BenchmarkClipScaleAXPY
+# Per-target fuzz budget for fuzz-kernels (Go's -fuzztime syntax).
+FUZZTIME ?= 10s
 
-.PHONY: build test vet race fmt-check bench bench-json bench-diff serve-smoke verify
+.PHONY: build test vet race fmt-check bench bench-json bench-diff fuzz-kernels serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -49,6 +53,15 @@ bench-json:
 # not a cross-host truth.
 bench-diff:
 	sh scripts/bench_json.sh diff $(BENCH_BASE) $(BENCH_JSON)
+
+# Fuzz every mathx kernel against its naive oracle (see kernels_test.go
+# for which are bit-equality contracts and which tolerance ones). Go runs
+# one fuzz target per invocation, so iterate; $(FUZZTIME) bounds each.
+fuzz-kernels:
+	@for f in FuzzDot FuzzAXPY FuzzDotSigmoid FuzzAXPY2 FuzzScaleTo2 FuzzClipScaleAXPY; do \
+		echo "fuzz $$f ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) ./internal/mathx/ || exit 1; \
+	done
 
 # Serving smoke test: start the HTTP job server on a random port, submit
 # a tiny inline job over real HTTP, poll it to done, and fetch the result.

@@ -38,11 +38,19 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
+	"sync"
 	"syscall"
 
 	"seprivgemb"
 	"seprivgemb/internal/server"
 )
+
+// stopProfiles finishes any pprof captures started in main. It is a
+// package variable so every exit path — normal return, fail(), and the
+// explicit os.Exit(130) after SIGINT (which skips defers) — can flush the
+// profiles; the installed function is idempotent.
+var stopProfiles = func() {}
 
 func main() {
 	// Subcommand dispatch ahead of flag parsing: `sepriv serve` and
@@ -80,8 +88,16 @@ func main() {
 		progress    = flag.Int("progress", 0, "print loss and privacy spend every N epochs (0 disables)")
 		outPath     = flag.String("out", "", "write the embedding as TSV to this file")
 		doEval      = flag.Bool("eval", true, "evaluate StrucEqu and link-prediction AUC")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file on exit (kernel-level perf attribution without a rebuild)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fail(err)
+	}
+	stopProfiles = stopProf
+	defer stopProfiles()
 	var (
 		ckptWriteErr error // last snapshot write failure, nil once one succeeds
 		ckptWritten  = -1  // epoch of the last successfully written snapshot
@@ -157,8 +173,12 @@ func main() {
 		every := *progress
 		opts = append(opts, seprivgemb.WithEpochHook(func(st seprivgemb.EpochStats) {
 			if (st.Epoch+1)%every == 0 {
-				fmt.Printf("epoch %4d: loss %.4f  eps-spent %.4f  (%.1fs)\n",
-					st.Epoch+1, st.Loss, st.EpsSpent, st.Elapsed.Seconds())
+				// The stage clocks are cumulative; print them alongside the
+				// total so a drifting stage split is visible mid-run.
+				fmt.Printf("epoch %4d: loss %.4f  eps-spent %.4f  (%.1fs: setup %.1fs grad %.1fs reduce %.1fs update %.1fs)\n",
+					st.Epoch+1, st.Loss, st.EpsSpent, st.Elapsed.Seconds(),
+					st.Stages.Subgraphs.Seconds(), st.Stages.Gradients.Seconds(),
+					st.Stages.Reduce.Seconds(), st.Stages.Update.Seconds())
 			}
 		}))
 	}
@@ -231,8 +251,51 @@ func main() {
 		fmt.Printf("embedding written to %s\n", *outPath)
 	}
 	if interrupted {
+		// os.Exit skips defers; flush the profiles first so a profiled run
+		// interrupted at an epoch boundary still yields usable pprof files.
+		stopProfiles()
 		os.Exit(130)
 	}
+}
+
+// startProfiles begins the requested pprof captures and returns an
+// idempotent finisher that stops the CPU profile and snapshots the heap.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "sepriv: closing CPU profile: %v\n", err)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "sepriv: writing heap profile: %v\n", err)
+					return
+				}
+				runtime.GC() // materialize up-to-date allocation stats
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "sepriv: writing heap profile: %v\n", err)
+				}
+				f.Close()
+			}
+		})
+	}, nil
 }
 
 func loadGraph(path, dataset string, scale float64, seed uint64) (*seprivgemb.Graph, error) {
@@ -335,5 +398,6 @@ func methodList() string {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "sepriv: %v\n", err)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -41,6 +41,31 @@ func (s StopReason) String() string {
 	}
 }
 
+// StageTimings breaks a run's wall-clock down by pipeline stage: one-shot
+// setup (subgraph generation plus the proximity weight scan) and the three
+// per-epoch stages of the engine. The per-stage clocks are cumulative over
+// the run so far, so Total() plus hook/accountant overhead approximates
+// EpochStats.Elapsed; a resumed run counts from the resume.
+type StageTimings struct {
+	// Subgraphs is the one-shot setup cost: Algorithm 1's subgraph pass
+	// and the structure-preference weight fill (line 1/2 of Algorithm 2).
+	Subgraphs time.Duration
+	// Gradients is the per-epoch fused forward+backward stage, including
+	// the epoch's batch sampling (negligible next to the gradient math).
+	Gradients time.Duration
+	// Reduce is the batch-order, cache-blocked fold of per-example
+	// gradients into the row accumulators.
+	Reduce time.Duration
+	// Update is the noise-and-apply stage: index-addressed DP noise plus
+	// the SGD writes to Win and Wout.
+	Update time.Duration
+}
+
+// Total returns the summed stage time.
+func (s StageTimings) Total() time.Duration {
+	return s.Subgraphs + s.Gradients + s.Reduce + s.Update
+}
+
 // EpochStats is the per-epoch observation handed to an EpochHook: the loss
 // and privacy spend of the epoch that just completed.
 type EpochStats struct {
@@ -55,6 +80,9 @@ type EpochStats struct {
 	// Elapsed is the wall-clock time since TrainContext was entered (a
 	// resumed run counts from the resume, not the original start).
 	Elapsed time.Duration
+	// Stages is the per-stage wall-clock breakdown, cumulative since
+	// TrainContext was entered.
+	Stages StageTimings
 }
 
 // EpochHook observes training progress. Hook ordering guarantees
@@ -148,6 +176,7 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 		}
 	}
 	start := time.Now()
+	var stages StageTimings
 	rng := xrand.New(cfg.Seed)
 
 	// Line 2: divide the graph into disjoint subgraphs, sharded across
@@ -177,6 +206,7 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 	if wsum > 0 {
 		mathx.Scale(float64(len(weights))/wsum, weights)
 	}
+	stages.Subgraphs = time.Since(start)
 	// Line 3: initialize the weight matrices. A resumed run re-draws the
 	// initialization (keeping the RNG aligned with the original stream) and
 	// then overwrites both matrices and the RNG from the checkpoint.
@@ -248,24 +278,37 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 		// stop can produce a resumable snapshot.
 		if ctx.Err() != nil {
 			res.Stopped = StopCanceled
+			res.Stages = stages
 			emitCheckpoint()
 			return res, nil
 		}
+		stageClock := time.Now()
 		// Line 5: sample B subgraphs uniformly at random (without
 		// replacement; Definition 6 with γ = B/|E|).
 		idx := rng.SampleWithoutReplacement(len(subs), cfg.BatchSize)
 		accIn.reset()
 		accOut.reset()
-		// Per-example losses and clipped gradients (the stage that
-		// parallelizes across cfg.Workers), reduced in batch order.
-		lossSum := eng.gradientStage(idx, accIn, accOut)
+		// Per-example losses, unscaled gradients and clip factors (the
+		// stage that parallelizes across cfg.Workers)...
+		lossSum := eng.computeStage(idx)
 		res.LossHistory = append(res.LossHistory, lossSum/float64(cfg.BatchSize))
+		now := time.Now()
+		stages.Gradients += now.Sub(stageClock)
+		stageClock = now
+		// ...then reduced into the row accumulators in batch order over
+		// cache-sized column panels, clip factors folded in.
+		eng.reduceStage(idx, accIn, accOut)
+		now = time.Now()
+		stages.Reduce += now.Sub(stageClock)
+		stageClock = now
 
 		// Lines 6–7: perturb and apply the updates to Win and Wout,
 		// sharded across the pool with index-addressed noise.
 		eng.applyUpdate(model.Win, accIn, epoch, matWin)
 		eng.applyUpdate(model.Wout, accOut, epoch, matWout)
+		stages.Update += time.Since(stageClock)
 		res.Epochs = epoch + 1
+		res.Stages = stages
 
 		// Lines 8–10: update the RDP accountant with sampling probability
 		// B/|E| and stop once the spent δ̂ reaches the budget.
@@ -288,6 +331,7 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 				EpsSpent:   res.EpsilonSpent,
 				DeltaSpent: res.DeltaSpent,
 				Elapsed:    time.Since(start),
+				Stages:     stages,
 			})
 		}
 		if hooks.CheckpointEvery > 0 && (epoch+1)%hooks.CheckpointEvery == 0 {
@@ -297,6 +341,7 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 			break
 		}
 	}
+	res.Stages = stages // covers runs whose loop never entered (resume at budget)
 	// Final snapshot for callers that asked for checkpoints, unless the
 	// periodic cadence already produced one at this exact boundary.
 	if (hooks.CheckpointEvery > 0 || hooks.Checkpoint != nil) &&

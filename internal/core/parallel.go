@@ -4,25 +4,29 @@ import (
 	"fmt"
 	"sync"
 
-	"seprivgemb/internal/dp"
 	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/skipgram"
 	"seprivgemb/internal/xrand"
 )
 
 // This file implements the deterministic parallel engine behind Train.
-// Each epoch of Algorithm 2 splits into two stages, both of which run on
-// one persistent worker pool:
+// Each epoch of Algorithm 2 splits into three stages; the compute and
+// update stages run on one persistent worker pool:
 //
-//  1. Gradient stage: for every sampled subgraph compute the loss and the
-//     per-example clipped gradients. The model is read-only here and the
-//     stage consumes NO randomness, so worker scheduling can never perturb
-//     the run's random stream (xrand contract pattern 1).
-//  2. Update stage: reduce the per-example gradients into the row
-//     accumulators single-threaded (in batch order), then perturb-and-apply
-//     sharded across the pool, with noise addressed by
-//     (epoch, matrix, row, coordinate) on a counter-based stream (xrand
-//     contract pattern 3) — see applyUpdate.
+//  1. Gradient stage: for every sampled subgraph run the fused
+//     forward+backward pass (skipgram.LossGradients) and compute the
+//     per-example clip FACTORS — the gradients themselves are left
+//     unscaled in their slots. The model is read-only here and the stage
+//     consumes NO randomness, so worker scheduling can never perturb the
+//     run's random stream (xrand contract pattern 1).
+//  2. Reduce stage: fold the B slots into the row accumulators
+//     single-threaded, replaying a batch-order plan over cache-sized
+//     column panels (reduceStage). The deferred clip factor is applied
+//     here by the fused scale-and-accumulate kernels, so each gradient
+//     row is swept once instead of once to clip and once to add.
+//  3. Update stage: perturb-and-apply sharded across the pool, with noise
+//     addressed by (epoch, matrix, row, coordinate) on a counter-based
+//     stream (xrand contract pattern 3) — see applyUpdate.
 //
 // Determinism contract: a fixed Config.Seed yields bit-identical Results
 // at every worker count, and Workers > 1 matches the serial Workers <= 1
@@ -33,14 +37,16 @@ import (
 // order — exactly the order the serial loop accumulates in. The only cost
 // over per-shard accumulators is O(B·(k+2)·dim) slot memory (< 1 MiB at
 // the paper's settings) and a serial reduction that is ~6x cheaper than
-// the gradient computation it orders.
+// the gradient computation it orders. The serial path uses the same slots
+// and the same two stages (workers <= 1 just runs the compute loop
+// inline), so there is exactly one numerical path.
 //
 // The update stage needs no reduction at all: noise is a pure function of
 // its (epoch, matrix, row, coordinate) index, rows are disjoint write
 // targets, and each row's arithmetic is confined to one worker, so the
 // shard layout cannot move a single floating-point operation.
 //
-// Synchronization: slots (stage 1) and rows (stage 2) are disjoint per
+// Synchronization: slots (stage 1) and rows (stage 3) are disjoint per
 // work item, so workers never share a write target. The jobs channel send
 // happens-before the worker's reads, and wg.Wait happens-after its
 // writes, so consecutive stages are properly ordered without locks.
@@ -49,10 +55,13 @@ import (
 // worker as a unit.
 type span struct{ lo, hi int }
 
-// slot holds the gradient stage's output for one batch position.
+// slot holds the gradient stage's output for one batch position: the
+// example's loss, its UNSCALED gradients, and the Eq. (3) clip factors
+// (1 when the norm is within the threshold) the reduction will fold in.
 type slot struct {
-	loss  float64
-	grads skipgram.Grads
+	loss      float64
+	fIn, fOut float64
+	grads     skipgram.Grads
 }
 
 // Matrix identifiers for the noise-stream key space: Win and Wout noise
@@ -84,16 +93,17 @@ type engine struct {
 	// the zero Stream for non-private runs, which never read it.
 	noise xrand.Stream
 
-	// Serial scratch (workers <= 1): one slot reused across examples,
-	// exactly the pre-engine training loop.
-	scratch slot
+	// slots holds one gradient-stage output per batch position — disjoint
+	// write targets for the pool, and the serial path's scratch.
+	slots []slot
+	idx   []int // current epoch's sampled subgraph indices
+	// planIn/planOut are the reduce stage's reusable batch-order plans.
+	planIn, planOut []reduceEntry
 
-	// Parallel state (workers > 1).
-	slots []slot // one per batch position, disjoint write targets
-	idx   []int  // current epoch's sampled subgraph indices
-	task  func(lo, hi int)
-	jobs  chan span
-	wg    sync.WaitGroup
+	// Worker pool (workers > 1).
+	task func(lo, hi int)
+	jobs chan span
+	wg   sync.WaitGroup
 }
 
 // newEngine builds the engine for one Train call. For workers > 1 it
@@ -121,11 +131,13 @@ func newEngine(model *skipgram.Model, subs []Subgraph, weights []float64, cfg Co
 	if e.workers > maxShard {
 		e.workers = maxShard
 	}
+	e.slots = make([]slot, cfg.BatchSize)
+	for i := range e.slots {
+		e.slots[i].grads.Ensure(cfg.Dim, cfg.K)
+	}
+	e.planIn = make([]reduceEntry, 0, cfg.BatchSize)
+	e.planOut = make([]reduceEntry, 0, (cfg.K+1)*cfg.BatchSize)
 	if e.workers > 1 {
-		e.slots = make([]slot, cfg.BatchSize)
-		for i := range e.slots {
-			e.slots[i].grads.Ensure(cfg.Dim, cfg.K)
-		}
 		e.jobs = make(chan span)
 		for w := 0; w < e.workers; w++ {
 			go e.workerLoop()
@@ -171,66 +183,134 @@ func (e *engine) forSpans(n int, task func(lo, hi int)) {
 	e.task = nil
 }
 
-// computeSub fills sl with subgraph si's loss and clipped gradients at the
-// current parameters. Both the serial and the parallel path go through this
-// one function, so their per-example numerics cannot drift apart.
+// computeSub fills sl with subgraph si's loss, unscaled gradients and clip
+// factors at the current parameters. Both the serial and the parallel path
+// go through this one function, so their per-example numerics cannot drift
+// apart.
+//
+// Clipping (Eq. (3)) is split from scaling: the Win part's factor comes
+// from the single row ∂L/∂v_i, the Wout part's from the joint norm over
+// its k+1 touched rows. The factors use exactly the thresholds and
+// quotients of the former in-place dp.Clip/clipJoint passes (n > C ⇒ C/n
+// and sq > C² ⇒ C/√sq), and the reduction applies f·g[d] with one rounding
+// per coordinate — the same one the in-place Scale performed — so the
+// deferred form is bit-identical to clip-then-accumulate.
 func (e *engine) computeSub(si int, sl *slot) {
 	s := e.subs[si]
 	ex := skipgram.Example{I: s.I, J: s.J, Negs: s.Negs, W: e.weights[si]}
-	sl.loss = e.model.Loss(ex)
-	e.model.Gradients(ex, &sl.grads)
-	if e.cfg.Clip > 0 {
-		// Per-example clipping (Eq. (3)): the Win part is the single row
-		// ∂L/∂v_i; the Wout part is the joint gradient over its k+1
-		// touched rows.
-		dp.Clip(sl.grads.GIn, e.cfg.Clip)
-		clipJoint(sl.grads.GOut, e.cfg.Clip)
+	sl.loss = e.model.LossGradients(ex, &sl.grads)
+	sl.fIn, sl.fOut = 1, 1
+	if c := e.cfg.Clip; c > 0 {
+		if n := mathx.Norm2(sl.grads.GIn); n > c {
+			sl.fIn = c / n
+		}
+		sl.fOut = jointClipFactor(sl.grads.GOut, c)
 	}
 }
 
-// accumulate folds one slot's gradients into the row accumulators. Shared
-// by the serial loop and the parallel reduction so the add order per slot
-// is identical on both paths.
-func accumulate(sl *slot, accIn, accOut *rowAccumulator) {
-	accIn.add(int32(sl.grads.InRow), sl.grads.GIn)
-	for t, row := range sl.grads.OutRows {
-		accOut.add(row, sl.grads.GOut[t])
-	}
-}
-
-// gradientStage runs stage 1 for the epoch's sampled indices and reduces
-// the per-example gradients into accIn/accOut, returning the summed batch
-// loss. Reduction is always in batch order, so the result is bit-identical
-// to the serial loop regardless of worker count.
-func (e *engine) gradientStage(idx []int, accIn, accOut *rowAccumulator) float64 {
-	if e.jobs == nil {
-		return e.gradientStageSerial(idx, accIn, accOut)
-	}
+// computeStage runs the gradient stage for the epoch's sampled indices,
+// filling one slot per batch position (inline when serial, sharded across
+// the pool otherwise), and returns the batch loss summed in batch order.
+func (e *engine) computeStage(idx []int) float64 {
 	e.idx = idx
 	e.forSpans(len(idx), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e.computeSub(e.idx[i], &e.slots[i])
 		}
 	})
-
 	var lossSum float64
 	for i := range idx {
 		lossSum += e.slots[i].loss
-		accumulate(&e.slots[i], accIn, accOut)
 	}
 	return lossSum
 }
 
-// gradientStageSerial is the pre-engine training loop: gradient computation
-// and accumulation interleaved per example, one shared scratch slot.
-func (e *engine) gradientStageSerial(idx []int, accIn, accOut *rowAccumulator) float64 {
-	var lossSum float64
-	for _, si := range idx {
-		e.computeSub(si, &e.scratch)
-		lossSum += e.scratch.loss
-		accumulate(&e.scratch, accIn, accOut)
+// reduceEntry is one deferred row-add of the reduction plan: dst += f·g,
+// or dst = f·g when first is set (the row's first touch of the epoch must
+// overwrite the dirty pooled vector).
+type reduceEntry struct {
+	dst, g []float64
+	f      float64
+	first  bool
+}
+
+// reduceStage folds the slots filled by computeStage into the row
+// accumulators. It first claims every destination row in batch order,
+// recording the adds as a plan, then replays the plan once per column
+// panel (reducePanelCols) so the accumulator rows a panel revisits stay
+// L1-resident instead of being evicted between adds by full-width sweeps.
+//
+// Determinism: for any fixed coordinate d, the plan entries touching d run
+// in plan order — batch order — in every panel layout, and the fused
+// kernels' per-coordinate arithmetic (one f·g[d] rounding, one add) does
+// not depend on the panel boundaries. Blocking therefore reorders only
+// ACROSS coordinates, never within one, and the reduction stays
+// bit-identical to the unblocked batch-order loop at any panel width
+// (pinned by TestReplayPlanPanelInvariance).
+func (e *engine) reduceStage(idx []int, accIn, accOut *rowAccumulator) {
+	e.planIn = e.planIn[:0]
+	e.planOut = e.planOut[:0]
+	for i := range idx {
+		sl := &e.slots[i]
+		dst, first := accIn.claim(int32(sl.grads.InRow))
+		e.planIn = append(e.planIn, reduceEntry{dst: dst, g: sl.grads.GIn, f: sl.fIn, first: first})
+		for t, row := range sl.grads.OutRows {
+			dst, first := accOut.claim(row)
+			e.planOut = append(e.planOut, reduceEntry{dst: dst, g: sl.grads.GOut[t], f: sl.fOut, first: first})
+		}
 	}
-	return lossSum
+	dim := e.cfg.Dim
+	replayPlan(e.planIn, dim, reducePanelCols(dim, len(accIn.rows)))
+	replayPlan(e.planOut, dim, reducePanelCols(dim, len(accOut.rows)))
+}
+
+// reduceL1Bytes is the cache budget one reduction panel aims its
+// destination working set at — half a typical 64 KiB L1d, leaving room
+// for the gradient rows streaming through.
+const reduceL1Bytes = 32 << 10
+
+// reducePanelCols picks the column-panel width for a reduction over
+// `rows` distinct destination rows of length dim: wide enough that panel
+// loop overhead stays negligible (>= 4 columns, 4-aligned so the fused
+// kernels run their unrolled bodies), narrow enough that the panel's
+// destination slices (8·rows·cols bytes) fit the L1 budget. Any width
+// yields bit-identical sums; this is purely a locality knob.
+func reducePanelCols(dim, rows int) int {
+	if rows < 1 {
+		rows = 1
+	}
+	cols := reduceL1Bytes / (8 * rows)
+	if cols >= dim {
+		return dim
+	}
+	cols &^= 3
+	if cols < 4 {
+		cols = 4
+	}
+	return cols
+}
+
+// replayPlan executes the plan's scale-and-accumulate adds over column
+// panels of the given width: all entries' columns [lo, hi) before any
+// entry's columns [hi, ...). Entries marked first overwrite (ScaleTo);
+// the rest accumulate (ClipScaleAXPY). A first-touch entry overwrites in
+// every panel, so the dirty pooled row is fully initialized panel by
+// panel.
+func replayPlan(plan []reduceEntry, dim, panel int) {
+	for lo := 0; lo < dim; lo += panel {
+		hi := lo + panel
+		if hi > dim {
+			hi = dim
+		}
+		for i := range plan {
+			en := &plan[i]
+			if en.first {
+				mathx.ScaleTo(en.dst[lo:hi], en.f, en.g[lo:hi])
+			} else {
+				mathx.ClipScaleAXPY(en.f, en.g[lo:hi], en.dst[lo:hi])
+			}
+		}
+	}
 }
 
 // applyUpdate perturbs the accumulated batch gradient per the configured

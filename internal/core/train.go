@@ -142,6 +142,8 @@ type Result struct {
 	DeltaSpent float64
 	// LossHistory records the average batch loss of every epoch.
 	LossHistory []float64
+	// Stages is the run's per-stage wall-clock breakdown (DESIGN.md §12).
+	Stages StageTimings
 	// Checkpoint is the snapshot at the run's final epoch boundary. It is
 	// populated when the run was canceled (so the partial result is always
 	// resumable) or when Hooks requested checkpointing; nil otherwise.
@@ -184,20 +186,35 @@ func Train(g *graph.Graph, prox proximity.Proximity, cfg Config) (*Result, error
 	return TrainContext(context.Background(), g, prox, cfg, Hooks{})
 }
 
-// clipJoint rescales the concatenation of rows to ℓ2 norm at most c,
-// treating the k+1 Wout row-gradients of one example as a single vector.
-func clipJoint(rows [][]float64, c float64) {
+// jointClipFactor returns the Eq. (3) joint-clip factor for the k+1 Wout
+// row-gradients of one example, treating their concatenation as a single
+// vector: 1 when its ℓ2 norm is within c, c/‖·‖ otherwise. The engine keeps
+// the factor in the slot and applies it during the reduction (one fused
+// scale-and-accumulate pass per row, DESIGN.md §12) instead of an in-place
+// Scale sweep here; the factor arithmetic — c/√(Σ‖r‖²) with the same
+// sq ≤ c² early-out — is unchanged, so deferring it moves no rounding.
+func jointClipFactor(rows [][]float64, c float64) float64 {
 	if c <= 0 {
-		return
+		return 1
 	}
 	var sq float64
 	for _, r := range rows {
 		sq += mathx.Norm2Sq(r)
 	}
 	if sq <= c*c {
+		return 1
+	}
+	return c / math.Sqrt(sq)
+}
+
+// clipJoint rescales the concatenation of rows to ℓ2 norm at most c — the
+// eager in-place form of jointClipFactor, kept for callers that need the
+// clipped rows themselves rather than a deferred factor.
+func clipJoint(rows [][]float64, c float64) {
+	f := jointClipFactor(rows, c)
+	if f == 1 {
 		return
 	}
-	f := c / math.Sqrt(sq)
 	for _, r := range rows {
 		mathx.Scale(f, r)
 	}
@@ -212,6 +229,9 @@ type rowAccumulator struct {
 	dim  int
 	rows map[int32][]float64
 	pool [][]float64
+	// scratch backs sortedRows so the per-epoch, per-matrix index sort
+	// reuses one allocation for the life of the accumulator.
+	scratch []int32
 }
 
 // newRowAccumulator pre-sizes the pool for maxRows distinct touched rows.
@@ -239,30 +259,44 @@ func (a *rowAccumulator) reset() {
 	}
 }
 
-// sortedRows returns the touched row indices in ascending order.
+// sortedRows returns the touched row indices in ascending order. The
+// returned slice aliases the accumulator's scratch buffer and is valid
+// until the next sortedRows call.
 func (a *rowAccumulator) sortedRows() []int32 {
-	rows := make([]int32, 0, len(a.rows))
+	rows := a.scratch[:0]
 	for r := range a.rows {
 		rows = append(rows, r)
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	a.scratch = rows
 	return rows
 }
 
-// add accumulates g into the row's running sum, claiming (and fully
-// overwriting) a pooled vector on the row's first touch of the epoch.
-func (a *rowAccumulator) add(row int32, g []float64) {
-	if dst, ok := a.rows[row]; ok {
-		mathx.AXPY(1, g, dst)
-		return
+// claim returns the row's accumulator vector, taking one from the pool on
+// the row's first touch of the epoch. A first-touch vector is DIRTY — it
+// still holds whatever the previous epoch left in it — so the caller must
+// fully overwrite it before (or while) accumulating into it.
+func (a *rowAccumulator) claim(row int32) (dst []float64, first bool) {
+	if got, ok := a.rows[row]; ok {
+		return got, false
 	}
-	var dst []float64
 	if n := len(a.pool); n > 0 {
 		dst = a.pool[n-1]
 		a.pool = a.pool[:n-1]
 	} else {
 		dst = make([]float64, a.dim)
 	}
-	copy(dst, g)
 	a.rows[row] = dst
+	return dst, true
+}
+
+// add accumulates g into the row's running sum, claiming (and fully
+// overwriting) a pooled vector on the row's first touch of the epoch.
+func (a *rowAccumulator) add(row int32, g []float64) {
+	dst, first := a.claim(row)
+	if first {
+		copy(dst, g)
+		return
+	}
+	mathx.AXPY(1, g, dst)
 }

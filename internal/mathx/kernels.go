@@ -1,0 +1,100 @@
+package mathx
+
+// This file holds the fused kernels behind the skip-gram hot path
+// (DESIGN.md §12). Each kernel collapses a multi-pass access pattern of
+// the per-example gradient computation into a single sweep:
+//
+//   - DotSigmoid:    score + activation while the operand rows are hot
+//   - AXPY2:         two scaled-row adds into one destination read/write
+//   - ScaleTo:       zero + scaled-copy emit in one pass
+//   - ScaleTo2:      two row emits from a single shared-operand read
+//   - ClipScaleAXPY: clip-factor scale fused into the accumulate
+//
+// Fusion contract: these kernels reorder READS, never float64 additions,
+// so each is bit-identical to the naive composition it replaces — the
+// kernels_test.go oracles assert exact bit-equality. Products that the
+// naive composition rounds separately are assigned to explicit
+// intermediates here, which the Go spec guarantees are rounded, so the
+// contract holds even on architectures whose compilers fuse multiply-adds
+// (e.g. arm64 FMA).
+
+// DotSigmoid returns the inner product of x and y together with its
+// logistic activation σ(x·y) — the skip-gram score computed while the two
+// rows are cache-resident, instead of a Dot pass followed by a separate
+// activation at the call site. The dot uses Dot's unrolled lane order;
+// the pair is bit-identical to (Dot(x, y), Sigmoid(Dot(x, y))).
+func DotSigmoid(x, y []float64) (dot, sig float64) {
+	dot = Dot(x, y)
+	return dot, Sigmoid(dot)
+}
+
+// AXPY2 computes y += a1*x1 + a2*x2 in a single pass: one read-modify-
+// write sweep over y for two scaled-row adds, halving the destination
+// traffic of back-to-back AXPY calls. Bit-identical to
+// AXPY(a1, x1, y); AXPY(a2, x2, y): each product is rounded on its own
+// and the two adds keep their order per coordinate.
+func AXPY2(a1 float64, x1 []float64, a2 float64, x2, y []float64) {
+	if len(x1) != len(y) || len(x2) != len(y) {
+		panic("mathx: AXPY2 length mismatch")
+	}
+	x1 = x1[:len(y)]
+	x2 = x2[:len(y)]
+	for i := range y {
+		t1 := a1 * x1[i]
+		t2 := a2 * x2[i]
+		v := y[i] + t1
+		y[i] = v + t2
+	}
+}
+
+// ScaleTo computes dst = a*x, fusing the Zero + AXPY pair the gradient
+// emit used to make into one write-only pass over dst. Element-wise and
+// bit-identical to that composition.
+func ScaleTo(dst []float64, a float64, x []float64) {
+	if len(x) != len(dst) {
+		panic("mathx: ScaleTo length mismatch")
+	}
+	x = x[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = a * x[i]
+		dst[i+1] = a * x[i+1]
+		dst[i+2] = a * x[i+2]
+		dst[i+3] = a * x[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a * x[i]
+	}
+}
+
+// ScaleTo2 computes dst1 = a1*x and dst2 = a2*x in one pass: two row
+// emits from a single read of the shared operand x (the skip-gram center
+// vector, which every Wout row gradient of an example is a multiple of).
+// Bit-identical to ScaleTo(dst1, a1, x); ScaleTo(dst2, a2, x).
+func ScaleTo2(dst1 []float64, a1 float64, dst2 []float64, a2 float64, x []float64) {
+	if len(x) != len(dst1) || len(x) != len(dst2) {
+		panic("mathx: ScaleTo2 length mismatch")
+	}
+	dst1 = dst1[:len(x)]
+	dst2 = dst2[:len(x)]
+	for i, v := range x {
+		dst1[i] = a1 * v
+		dst2[i] = a2 * v
+	}
+}
+
+// ClipScaleAXPY computes dst += f*g: the per-example clip factor f
+// applied during the accumulate, replacing the two-pass
+// Scale(f, g); AXPY(1, g, dst) the reduction used to make (and leaving g
+// itself unscaled for reuse). The product f*g[i] is rounded once in both
+// formulations, so the fusion is bit-identical to the composition.
+func ClipScaleAXPY(f float64, g, dst []float64) {
+	if len(g) != len(dst) {
+		panic("mathx: ClipScaleAXPY length mismatch")
+	}
+	g = g[:len(dst)]
+	for i := range dst {
+		t := f * g[i]
+		dst[i] += t
+	}
+}

@@ -1,6 +1,14 @@
 // Package mathx provides the dense vector, matrix, and statistics kernel
 // used throughout the repository. Everything is float64 and allocation
 // patterns favour reuse: most mutating operations take a destination slice.
+//
+// The hot kernels are written hardware-shaped (DESIGN.md §12): reductions
+// carry four independent accumulators so the loop-carried floating-point
+// add latency overlaps, every kernel re-slices its operands up front so
+// the compiler can eliminate per-element bounds checks, and the fused
+// kernels in kernels.go collapse the skip-gram per-example access pattern
+// into single passes. Unrolled reductions change float64 summation order
+// (documented per function); element-wise kernels never do.
 package mathx
 
 import (
@@ -10,44 +18,103 @@ import (
 
 // Dot returns the inner product of x and y.
 // It panics if the lengths differ.
+//
+// Summation order (part of the golden-hash contract, DESIGN.md §12): four
+// independent lane sums s0..s3 over strided elements, combined as
+// (s0+s1)+(s2+s3), then the <4 tail elements added sequentially. This
+// differs from the pre-PR-7 sequential order, so it was covered by that
+// PR's one documented golden-hash update.
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mathx: Dot length mismatch %d != %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
+	y = y[:len(x)] // bounds-check elimination
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
 
-// AXPY computes y += a*x in place.
+// AXPY computes y += a*x in place. Element-wise: bit-identical to the
+// naive loop at every length. Each product is assigned to an explicit
+// intermediate, which the Go spec guarantees is rounded — so the result
+// cannot be contracted into a fused multiply-add on architectures whose
+// compilers would otherwise do so, and the kernel-layer bit-equality
+// contracts (DESIGN.md §12) are platform-independent.
 func AXPY(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mathx: AXPY length mismatch %d != %d", len(x), len(y)))
 	}
-	for i, v := range x {
-		y[i] += a * v
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		t0 := a * x[i]
+		t1 := a * x[i+1]
+		t2 := a * x[i+2]
+		t3 := a * x[i+3]
+		y[i] += t0
+		y[i+1] += t1
+		y[i+2] += t2
+		y[i+3] += t3
+	}
+	for ; i < len(x); i++ {
+		t := a * x[i]
+		y[i] += t
 	}
 }
 
-// Scale multiplies every element of x by a in place.
+// Scale multiplies every element of x by a in place. Element-wise:
+// bit-identical to the naive loop.
 func Scale(a float64, x []float64) {
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] *= a
+		x[i+1] *= a
+		x[i+2] *= a
+		x[i+3] *= a
+	}
+	for ; i < len(x); i++ {
 		x[i] *= a
 	}
 }
 
 // Add computes dst = x + y element-wise.
 func Add(dst, x, y []float64) {
-	for i := range dst {
+	x = x[:len(dst)]
+	y = y[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] + y[i]
+		dst[i+1] = x[i+1] + y[i+1]
+		dst[i+2] = x[i+2] + y[i+2]
+		dst[i+3] = x[i+3] + y[i+3]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = x[i] + y[i]
 	}
 }
 
 // Sub computes dst = x - y element-wise.
 func Sub(dst, x, y []float64) {
-	for i := range dst {
+	x = x[:len(dst)]
+	y = y[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] = x[i] - y[i]
+		dst[i+1] = x[i+1] - y[i+1]
+		dst[i+2] = x[i+2] - y[i+2]
+		dst[i+3] = x[i+3] - y[i+3]
+	}
+	for ; i < len(dst); i++ {
 		dst[i] = x[i] - y[i]
 	}
 }
@@ -67,38 +134,64 @@ func CopyInto(dst, src []float64) {
 	copy(dst, src)
 }
 
-// Norm2 returns the Euclidean (ℓ2) norm of x.
+// Norm2 returns the Euclidean (ℓ2) norm of x. It is sqrt(Norm2Sq(x)), so
+// it inherits Norm2Sq's unrolled summation order.
 func Norm2(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(Norm2Sq(x))
 }
 
 // Norm2Sq returns the squared Euclidean norm of x.
+//
+// Summation order: the same 4-lane (s0+s1)+(s2+s3) + sequential-tail
+// scheme as Dot.
 func Norm2Sq(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * x[i]
+		s1 += x[i+1] * x[i+1]
+		s2 += x[i+2] * x[i+2]
+		s3 += x[i+3] * x[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i] * x[i]
 	}
 	return s
 }
 
 // EuclideanDistance returns ||x-y||₂.
+//
+// Summation order: the same 4-lane scheme as Dot, over the squared
+// element differences.
 func EuclideanDistance(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("mathx: EuclideanDistance length mismatch %d != %d", len(x), len(y)))
 	}
-	var s float64
-	for i, v := range x {
-		d := v - y[i]
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		d0 := x[i] - y[i]
+		d1 := x[i+1] - y[i+1]
+		d2 := x[i+2] - y[i+2]
+		d3 := x[i+3] - y[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		d := x[i] - y[i]
 		s += d * d
 	}
 	return math.Sqrt(s)
 }
 
-// Sum returns the sum of the elements of x.
+// Sum returns the sum of the elements of x. Sequential: it feeds the
+// training-weight rescale in core, whose factor is summed in index order
+// as part of the determinism contract.
 func Sum(x []float64) float64 {
 	var s float64
 	for _, v := range x {
@@ -116,18 +209,27 @@ func Mean(x []float64) float64 {
 }
 
 // Variance returns the population variance of x, or 0 for fewer than two
-// elements.
+// elements. Single-pass Welford recurrence: numerically at least as
+// stable as the two-pass mean-then-deviations form it replaced, and one
+// sweep over x instead of two. Values agree with the two-pass form to
+// relative 1e-12 (pinned by TestWelfordMatchesTwoPass), not bit-exactly.
 func Variance(x []float64) float64 {
 	if len(x) < 2 {
 		return 0
 	}
-	m := Mean(x)
-	var s float64
-	for _, v := range x {
-		d := v - m
-		s += d * d
+	_, m2 := welford(x)
+	return m2 / float64(len(x))
+}
+
+// welford runs Welford's single-pass recurrence, returning the running
+// mean and the sum of squared deviations M2.
+func welford(x []float64) (mean, m2 float64) {
+	for i, v := range x {
+		d := v - mean
+		mean += d / float64(i+1)
+		m2 += d * (v - mean)
 	}
-	return s / float64(len(x))
+	return mean, m2
 }
 
 // StdDev returns the population standard deviation of x.
@@ -136,18 +238,14 @@ func StdDev(x []float64) float64 {
 }
 
 // SampleStdDev returns the Bessel-corrected sample standard deviation,
-// matching the ±SD columns reported in the paper's tables.
+// matching the ±SD columns reported in the paper's tables. Single-pass
+// Welford, like Variance.
 func SampleStdDev(x []float64) float64 {
 	if len(x) < 2 {
 		return 0
 	}
-	m := Mean(x)
-	var s float64
-	for _, v := range x {
-		d := v - m
-		s += d * d
-	}
-	return math.Sqrt(s / float64(len(x)-1))
+	_, m2 := welford(x)
+	return math.Sqrt(m2 / float64(len(x)-1))
 }
 
 // MinMax returns the smallest and largest elements of x.

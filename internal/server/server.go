@@ -44,6 +44,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/mathx"
@@ -140,12 +141,19 @@ func jobView(j *service.Job) jobResponse {
 		Tenant:   j.Tenant(),
 	}
 	if st, ok := j.Progress(); ok {
+		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 		resp.Progress = &progressInfo{
 			Epoch:      st.Epoch,
 			Loss:       st.Loss,
 			EpsSpent:   st.EpsSpent,
 			DeltaSpent: st.DeltaSpent,
 			ElapsedMs:  st.Elapsed.Milliseconds(),
+			Stages: &spec.StageInfo{
+				SubgraphsMs: ms(st.Stages.Subgraphs),
+				GradientsMs: ms(st.Stages.Gradients),
+				ReduceMs:    ms(st.Stages.Reduce),
+				UpdateMs:    ms(st.Stages.Update),
+			},
 		}
 	}
 	return resp

@@ -187,6 +187,44 @@ func TestSubmitStatusResultLifecycle(t *testing.T) {
 	}
 }
 
+// TestStatusReportsStageTimings pins the profiler half of the serving
+// contract (DESIGN.md §12): a finished job's status payload carries the
+// cumulative per-stage wall-clock breakdown, every stage non-negative and
+// the per-epoch stages strictly positive once epochs have run.
+func TestStatusReportsStageTimings(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	resp, jr := postSpec(t, ts, tinySpecJSON(3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	final := pollDone(t, ts, jr.ID)
+	if final.Progress == nil || final.Progress.Stages == nil {
+		t.Fatalf("final status %+v carries no stage timings", final.Progress)
+	}
+	st := final.Progress.Stages
+	table := []struct {
+		name     string
+		ms       float64
+		positive bool // must be > 0, not merely >= 0
+	}{
+		{"subgraphsMs", st.SubgraphsMs, false}, // one-shot setup can round to ~0 but never negative
+		{"gradientsMs", st.GradientsMs, true},
+		{"reduceMs", st.ReduceMs, true},
+		{"updateMs", st.UpdateMs, true},
+	}
+	for _, row := range table {
+		if row.ms < 0 {
+			t.Errorf("%s = %g, want >= 0", row.name, row.ms)
+		}
+		if row.positive && row.ms <= 0 {
+			t.Errorf("%s = %g, want > 0 after %d epochs", row.name, row.ms, final.Progress.Epoch+1)
+		}
+	}
+	if total := st.SubgraphsMs + st.GradientsMs + st.ReduceMs + st.UpdateMs; total > float64(final.Progress.ElapsedMs+1) {
+		t.Errorf("stage total %.3fms exceeds elapsed %dms", total, final.Progress.ElapsedMs)
+	}
+}
+
 func TestUnknownJobIs404(t *testing.T) {
 	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
 	for _, path := range []string{"/v1/jobs/jdeadbeef", "/v1/jobs/jdeadbeef/result"} {

@@ -135,6 +135,64 @@ func TestGradientsBufferReuse(t *testing.T) {
 	}
 }
 
+// naiveGradients is the pre-fusion per-example backward pass — one Dot,
+// one Sigmoid, and separate Zero+AXPY emits per row — kept as the oracle
+// for the fused LossGradients.
+func naiveGradients(m *Model, ex Example, g *Grads) {
+	g.Ensure(m.Dim, len(ex.Negs))
+	vi := m.Win.Row(int(ex.I))
+	g.InRow = int(ex.I)
+	mathx.Zero(g.GIn)
+	vj := m.Wout.Row(int(ex.J))
+	coefJ := ex.W * (mathx.Sigmoid(mathx.Dot(vj, vi)) - 1)
+	mathx.AXPY(coefJ, vj, g.GIn)
+	g.OutRows[0] = ex.J
+	mathx.Zero(g.GOut[0])
+	mathx.AXPY(coefJ, vi, g.GOut[0])
+	for t, n := range ex.Negs {
+		vn := m.Wout.Row(int(n))
+		coefN := ex.W * mathx.Sigmoid(mathx.Dot(vn, vi))
+		mathx.AXPY(coefN, vn, g.GIn)
+		g.OutRows[t+1] = n
+		mathx.Zero(g.GOut[t+1])
+		mathx.AXPY(coefN, vi, g.GOut[t+1])
+	}
+}
+
+// TestLossGradientsMatchesComposition pins the fusion contract: the fused
+// forward+backward must be BIT-identical to the unfused Loss call plus
+// the naive per-row gradient pass, at even and odd negative counts (the
+// pairwise sweep has a tail) including k = 0.
+func TestLossGradientsMatchesComposition(t *testing.T) {
+	m := testModel(t, 12, 7) // odd dim exercises the kernels' scalar tails
+	for _, negs := range [][]int32{nil, {4}, {4, 6}, {4, 6, 8}, {4, 6, 8, 10, 11}} {
+		ex := Example{I: 2, J: 3, Negs: negs, W: 1.3}
+		var fused, naive Grads
+		gotLoss := m.LossGradients(ex, &fused)
+		naiveGradients(m, ex, &naive)
+		wantLoss := m.Loss(ex)
+		if math.Float64bits(gotLoss) != math.Float64bits(wantLoss) {
+			t.Errorf("k=%d: fused loss %g != Loss %g", len(negs), gotLoss, wantLoss)
+		}
+		for d := range fused.GIn {
+			if math.Float64bits(fused.GIn[d]) != math.Float64bits(naive.GIn[d]) {
+				t.Errorf("k=%d: GIn[%d] fused %g != naive %g", len(negs), d, fused.GIn[d], naive.GIn[d])
+			}
+		}
+		for r := range fused.OutRows {
+			if fused.OutRows[r] != naive.OutRows[r] {
+				t.Fatalf("k=%d: OutRows[%d] = %d, want %d", len(negs), r, fused.OutRows[r], naive.OutRows[r])
+			}
+			for d := range fused.GOut[r] {
+				if math.Float64bits(fused.GOut[r][d]) != math.Float64bits(naive.GOut[r][d]) {
+					t.Errorf("k=%d: GOut[%d][%d] fused %g != naive %g",
+						len(negs), r, d, fused.GOut[r][d], naive.GOut[r][d])
+				}
+			}
+		}
+	}
+}
+
 func TestGradientStepDecreasesLoss(t *testing.T) {
 	m := testModel(t, 6, 8)
 	ex := Example{I: 0, J: 1, Negs: []int32{2, 3, 4}, W: 1}

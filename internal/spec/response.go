@@ -19,11 +19,23 @@ type JobResponse struct {
 
 // ProgressInfo mirrors core.EpochStats for the latest completed epoch.
 type ProgressInfo struct {
-	Epoch      int     `json:"epoch"`
-	Loss       float64 `json:"loss"`
-	EpsSpent   float64 `json:"epsSpent"`
-	DeltaSpent float64 `json:"deltaSpent"`
-	ElapsedMs  int64   `json:"elapsedMs"`
+	Epoch      int        `json:"epoch"`
+	Loss       float64    `json:"loss"`
+	EpsSpent   float64    `json:"epsSpent"`
+	DeltaSpent float64    `json:"deltaSpent"`
+	ElapsedMs  int64      `json:"elapsedMs"`
+	Stages     *StageInfo `json:"stages,omitempty"`
+}
+
+// StageInfo is the wire form of core.StageTimings: the run's cumulative
+// wall-clock per pipeline stage. Values are fractional milliseconds —
+// quick-scale jobs finish whole stages in microseconds, and an integer
+// millisecond field would round every one of them to zero.
+type StageInfo struct {
+	SubgraphsMs float64 `json:"subgraphsMs"`
+	GradientsMs float64 `json:"gradientsMs"`
+	ReduceMs    float64 `json:"reduceMs"`
+	UpdateMs    float64 `json:"updateMs"`
 }
 
 // ResultResponse is the wire form of a finished job's outcome. Embedding

@@ -23,6 +23,9 @@ type (
 	// EpochStats is the per-epoch observation handed to an EpochHook:
 	// loss, privacy spend, and elapsed wall-clock time.
 	EpochStats = core.EpochStats
+	// StageTimings is the cumulative per-stage wall-clock breakdown
+	// carried by EpochStats and Result (DESIGN.md §12).
+	StageTimings = core.StageTimings
 	// EpochHook observes training progress; see TrainHooks' ordering
 	// guarantees in DESIGN.md §8.
 	EpochHook = core.EpochHook
