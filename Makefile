@@ -1,8 +1,8 @@
 GO ?= go
 # Benchmark → JSON recording for the perf trajectory; bump per PR.
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_JSON ?= BENCH_pr8.json
 # The previous PR's recording, the regression baseline for bench-diff.
-BENCH_BASE ?= BENCH_pr6.json
+BENCH_BASE ?= BENCH_pr7.json
 # The sharded-stage benchmarks: the DP noise/update stage, the one-shot
 # graph passes, the whole-train scaling curve, the sharded evaluation
 # metrics (PR 3), the sharded proximity stats/edge-weight scans (PR 4),

@@ -27,7 +27,14 @@
 // `sepriv fetch -addr URL -job ID [-rows lo:hi] [-out f.tsv]` retrieves a
 // finished job's embedding from such a server as TSV — one explicit row
 // window with -rows, or the whole matrix paged through the server's range
-// cursor so neither side ever materializes more than a page.
+// cursor so neither side ever materializes more than a page. With -json it
+// emits the server's wire response verbatim (one JSON object) for scripts.
+//
+// `sepriv sweep -addr URL -spec sweep.json [-watch] [-format tsv|markdown]`
+// submits a whole comparison grid — (graph × method × ε × seed), the
+// paper's evaluation shape — as one SweepSpec, waits for it, and prints the
+// aggregated mean±std table. Cells deduplicate against prior jobs and
+// sweeps, so repeating a grid never retrains. See internal/sweep.
 package main
 
 import (
@@ -53,15 +60,18 @@ import (
 var stopProfiles = func() {}
 
 func main() {
-	// Subcommand dispatch ahead of flag parsing: `sepriv serve` and
-	// `sepriv fetch` hand the remaining arguments to the shared server
-	// CLI (the server and its row-range fetch client).
+	// Subcommand dispatch ahead of flag parsing: `sepriv serve`,
+	// `sepriv fetch`, and `sepriv sweep` hand the remaining arguments to
+	// the shared server CLI (the server, its row-range fetch client, and
+	// the sweep client).
 	if len(os.Args) > 1 {
 		switch os.Args[1] {
 		case "serve":
 			os.Exit(server.Main(os.Args[2:], os.Stdout, os.Stderr))
 		case "fetch":
 			os.Exit(server.FetchMain(os.Args[2:], os.Stdout, os.Stderr))
+		case "sweep":
+			os.Exit(server.SweepMain(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	var (

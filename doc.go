@@ -61,6 +61,19 @@
 // so every page is verifiable against the whole. `sepriv fetch` is the
 // matching CLI client.
 //
+// A whole comparison grid — the paper's evaluation shape — submits as
+// one SweepSpec (DESIGN.md §13): axes (graphs × methods × ε × seeds), a
+// shared base config, and a metric (strucequ or linkauc).
+// Service.SubmitSweep expands it into per-cell jobs behind the same
+// queue, memo, and artifact store, aggregates done cells into a
+// (graph, method, ε) → mean±std table over the seed axis, and persists
+// the result as its own artifact. Sweep IDs hash the canonicalized cell
+// set, so resubmission — any axis order, even after a restart — never
+// retrains a cell; failed cells are recorded and excluded rather than
+// failing the sweep, and Cancel stops only cells no other submitter
+// holds. POST /v1/sweeps and `sepriv sweep -spec sweep.json` speak the
+// same contract over HTTP; examples/sweep is the walkthrough.
+//
 // Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs
 // subgraph generation, the per-epoch gradient stage AND the DP noise/update
 // stage on goroutine pools that preserve bit-identical results at every

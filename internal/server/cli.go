@@ -305,6 +305,94 @@ func Selftest(baseURL string, out io.Writer) error {
 		return fmt.Errorf("gap and sepriv produced the same embedding hash %s", result.EmbeddingHash)
 	}
 	fmt.Fprintf(out, "selftest: baseline job %s (gap) served distinctly from %s\n", gapJob.ID, job.ID)
+
+	// Sweep orchestration end to end: a tiny 2-method × 2-ε grid must
+	// complete with every cell done, serve an aggregated table, and — the
+	// determinism contract — a resubmission of the same grid must land on
+	// the same sweep ID and serve the BYTE-identical result without
+	// retraining a single cell.
+	const sweepBody = `{
+		"graphs": [` + inlineGraph + `],
+		"methods": ["sepriv", "gap"],
+		"epsilons": [0.5, 1.0],
+		"seeds": [7],
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 2}
+	}`
+	postSweep := func() (string, error) {
+		resp, err := client.Post(baseURL+"/v1/sweeps", "application/json", bytes.NewReader([]byte(sweepBody)))
+		if err != nil {
+			return "", err
+		}
+		var sw struct {
+			ID string `json:"id"`
+		}
+		if err := decodeAs(resp, http.StatusAccepted, &sw); err != nil {
+			return "", err
+		}
+		return sw.ID, nil
+	}
+	sweepID, err := postSweep()
+	if err != nil {
+		return fmt.Errorf("submit sweep: %w", err)
+	}
+	fmt.Fprintf(out, "selftest: submitted sweep %s\n", sweepID)
+	var sw struct {
+		Status string `json:"status"`
+		Counts struct {
+			Done   int `json:"done"`
+			Failed int `json:"failed"`
+		} `json:"counts"`
+	}
+	for sw.Status != "done" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sweep %s stuck in %q", sweepID, sw.Status)
+		}
+		if sw.Status == "canceled" {
+			return fmt.Errorf("sweep %s ended %q", sweepID, sw.Status)
+		}
+		time.Sleep(50 * time.Millisecond)
+		if err := getJSON(client, baseURL+"/v1/sweeps/"+sweepID, http.StatusOK, &sw); err != nil {
+			return fmt.Errorf("poll sweep: %w", err)
+		}
+	}
+	if sw.Counts.Done != 4 || sw.Counts.Failed != 0 {
+		return fmt.Errorf("sweep %s finished with counts %+v, want 4 done", sweepID, sw.Counts)
+	}
+	getResultBytes := func() ([]byte, error) {
+		resp, err := client.Get(baseURL + "/v1/sweeps/" + sweepID + "/result")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		return body, nil
+	}
+	table1, err := getResultBytes()
+	if err != nil {
+		return fmt.Errorf("sweep result: %w", err)
+	}
+	resubID, err := postSweep()
+	if err != nil {
+		return fmt.Errorf("resubmit sweep: %w", err)
+	}
+	if resubID != sweepID {
+		return fmt.Errorf("resubmitted sweep got ID %s, want %s", resubID, sweepID)
+	}
+	table2, err := getResultBytes()
+	if err != nil {
+		return fmt.Errorf("resubmitted sweep result: %w", err)
+	}
+	if !bytes.Equal(table1, table2) {
+		return fmt.Errorf("sweep table changed on resubmission:\n%s\nvs\n%s", table1, table2)
+	}
+	fmt.Fprintf(out, "selftest: sweep %s table bit-identical on resubmission (%d cells)\n", sweepID, sw.Counts.Done)
 	return nil
 }
 

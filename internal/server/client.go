@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ func FetchMain(args []string, stdout, stderr io.Writer) int {
 		rows    = fs.String("rows", "", "row window lo:hi — fetch only these embedding rows")
 		page    = fs.Int("page", 1024, "rows per request when paging the full embedding")
 		outPath = fs.String("out", "", "write TSV here instead of stdout")
+		asJSON  = fs.Bool("json", false, "emit one JSON object (the server's wire response) instead of TSV")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,11 +60,17 @@ func FetchMain(args []string, stdout, stderr io.Writer) int {
 			return f.Close()
 		}
 	}
-	if err := fetch(*addr, *jobID, *rows, *page, out, stderr); err != nil {
+	var fetchErr error
+	if *asJSON {
+		fetchErr = fetchJSON(*addr, *jobID, *rows, out)
+	} else {
+		fetchErr = fetch(*addr, *jobID, *rows, *page, out, stderr)
+	}
+	if fetchErr != nil {
 		if finish != nil {
 			finish()
 		}
-		fmt.Fprintf(stderr, "sepriv fetch: %v\n", err)
+		fmt.Fprintf(stderr, "sepriv fetch: %v\n", fetchErr)
 		return 1
 	}
 	if finish != nil {
@@ -72,6 +80,63 @@ func FetchMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// fetchJSON implements -json: emit the server's wire response verbatim —
+// one JSON object with the stable field order of the internal/spec
+// response types — so scripts consume results without TSV parsing. A
+// finished job emits its ResultResponse (the -rows window when given,
+// metadata-only otherwise: scripts after the matrix page the TSV path); an
+// unfinished job emits its JobResponse, status and timing included.
+func fetchJSON(addr, jobID, rows string, out io.Writer) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := strings.TrimRight(addr, "/")
+	var job spec.JobResponse
+	jobBody, err := getRaw(client, fmt.Sprintf("%s/v1/jobs/%s", base, jobID), &job)
+	if err != nil {
+		return err
+	}
+	if job.Status != "done" {
+		_, err = out.Write(jobBody)
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/jobs/%s/result?embedding=none", base, jobID)
+	if rows != "" {
+		lo, hi, err := parseRowsFlag(rows)
+		if err != nil {
+			return err
+		}
+		url = fmt.Sprintf("%s/v1/jobs/%s/result/rows/%d-%d", base, jobID, lo, hi)
+	}
+	var res spec.ResultResponse
+	resBody, err := getRaw(client, url, &res)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(resBody)
+	return err
+}
+
+// getRaw fetches url, validates the 200 body by decoding it into v, and
+// returns the raw bytes — the pass-through that keeps -json output
+// byte-identical to the server's encoding.
+func getRaw(client *http.Client, url string, v any) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", url, err)
+	}
+	return body, nil
 }
 
 // parseRowsFlag parses "-rows lo:hi" as a half-open range [lo, hi).

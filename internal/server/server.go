@@ -17,6 +17,12 @@
 //	GET    /v1/jobs/{id}/result/rows/{lo}-{hi}
 //	                            explicit row window [lo, hi) of the embedding
 //	DELETE /v1/jobs/{id}        cancel → 202
+//	POST   /v1/sweeps           submit a SweepSpec → 202 {id, counts, cells}
+//	GET    /v1/sweeps/{id}      live sweep status: counts + per-cell states
+//	GET    /v1/sweeps/{id}/result
+//	                            aggregated table (409 until complete; after a
+//	                            restart, served from the sweep artifact)
+//	DELETE /v1/sweeps/{id}      cancel remaining exclusively-held cells → 202
 //
 // Result serving: ?embedding=full|none|range selects how much of the
 // |V|×r matrix is inlined. "range" pages through rows with ?offset= and
@@ -32,7 +38,8 @@
 // Error mapping: malformed or unresolvable specs → 400, unknown job IDs
 // or malformed row windows → 400/404, result-before-done → 409, tenant
 // over quota → 429, queued-cancel (never trained) results → 410, submit
-// after shutdown → 503.
+// after shutdown → 503. 429 and 503 carry a Retry-After header — polite
+// backpressure for sweep clients that fan wide.
 package server
 
 import (
@@ -75,6 +82,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	mux.HandleFunc("GET /v1/jobs/{id}/result/rows/{window}", s.resultRows)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("POST /v1/sweeps", s.submitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.sweepStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.sweepResult)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.cancelSweep)
 	return mux
 }
 
@@ -139,6 +150,7 @@ func jobView(j *service.Job) jobResponse {
 		Method:   j.Method(),
 		Priority: j.Priority(),
 		Tenant:   j.Tenant(),
+		Timing:   timingView(j),
 	}
 	if st, ok := j.Progress(); ok {
 		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -159,6 +171,53 @@ func jobView(j *service.Job) jobResponse {
 	return resp
 }
 
+// timingView converts a job's lifecycle timeline to the wire form:
+// RFC 3339 timestamps plus fractional-millisecond durations (like
+// progress.stages — quick-scale jobs queue and run in microseconds), so a
+// sweep client can tell queue-wait from run time without parsing
+// timestamps.
+func timingView(j *service.Job) *spec.TimingInfo {
+	submitted, started, finished := j.Timing()
+	if submitted.IsZero() {
+		return nil
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	ti := &spec.TimingInfo{SubmittedAt: submitted.UTC().Format(time.RFC3339Nano)}
+	if !started.IsZero() {
+		ti.StartedAt = started.UTC().Format(time.RFC3339Nano)
+		ti.QueueMs = ms(started.Sub(submitted))
+	}
+	if !finished.IsZero() {
+		ti.FinishedAt = finished.UTC().Format(time.RFC3339Nano)
+		if !started.IsZero() {
+			ti.RunMs = ms(finished.Sub(started))
+		}
+	}
+	return ti
+}
+
+// retryAfterSeconds is the backoff hint sent with 429 and 503: long enough
+// that a polite client stops hammering the quota, short enough that a
+// freed slot is picked up promptly.
+const retryAfterSeconds = 1
+
+// writeSubmitError maps a submission error onto the wire, attaching
+// Retry-After to the retryable statuses (429 quota, 503 draining).
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrQuotaExceeded):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, service.ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, service.ErrClosed):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	sp, err := spec.Decode(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
@@ -166,19 +225,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j, err := s.svc.SubmitSpec(*sp)
-	switch {
-	case err == nil:
-	case errors.Is(err, service.ErrQuotaExceeded):
-		writeError(w, http.StatusTooManyRequests, err.Error())
-		return
-	case errors.Is(err, service.ErrInvalidSpec):
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	case errors.Is(err, service.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+	if err != nil {
+		writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobView(j))
@@ -460,4 +508,74 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	}
 	j.Cancel()
 	writeJSON(w, http.StatusAccepted, jobView(j))
+}
+
+// submitSweep serves POST /v1/sweeps: decode, expand, and register a
+// comparison grid. Like job submission it answers 202 immediately — the
+// response carries the deterministic sweep ID, the canonicalized cell
+// listing (every cell with its job ID for drill-down), and the initial
+// counts. A resubmitted grid lands on the existing sweep: same ID, and if
+// it already finished, cells answer done without any cell re-entering the
+// queue.
+func (s *Server) submitSweep(w http.ResponseWriter, r *http.Request) {
+	sp, err := spec.DecodeSweep(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sw, err := s.svc.SubmitSweep(sp)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sw.Status())
+}
+
+// lookupSweep resolves the {id} path segment to a live sweep.
+func (s *Server) lookupSweep(w http.ResponseWriter, r *http.Request) (*service.Sweep, bool) {
+	id := r.PathValue("id")
+	sw, ok := s.svc.SweepByID(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
+		return nil, false
+	}
+	return sw, true
+}
+
+func (s *Server) sweepStatus(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sw.Status())
+}
+
+// sweepResult serves a completed sweep's aggregated table. The service
+// answers from the live sweep when it ran in this process and falls back
+// to the persisted sweep artifact otherwise — the restart path, where the
+// served JSON is byte-identical to the table persisted at completion. A
+// live-but-incomplete sweep is a 409, mirroring the job result contract.
+func (s *Server) sweepResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if res, ok := s.svc.SweepResult(id); ok {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	if sw, ok := s.svc.SweepByID(id); ok {
+		writeJSON(w, http.StatusConflict, errorResponse{
+			Error:  "sweep has not completed; poll GET /v1/sweeps/{id}",
+			Status: sw.Status().Status,
+		})
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("unknown sweep %q", id))
+}
+
+func (s *Server) cancelSweep(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.lookupSweep(w, r)
+	if !ok {
+		return
+	}
+	sw.Cancel()
+	writeJSON(w, http.StatusAccepted, sw.Status())
 }

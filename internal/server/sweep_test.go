@@ -1,0 +1,340 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seprivgemb/internal/service"
+	"seprivgemb/internal/spec"
+)
+
+// sweepSpecJSON is the PR's acceptance grid: 2 graphs × 3 methods × 2 ε ×
+// 2 seeds = 24 cells, each cell cheap enough to train in milliseconds.
+func sweepSpecJSON() string {
+	return `{
+		"graphs": [
+			{"inline": {"nodes": 12, "edges": [
+				[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,0],
+				[0,6],[1,7],[2,8],[3,9]
+			]}},
+			{"inline": {"nodes": 12, "edges": [
+				[0,1],[0,2],[0,3],[0,4],[0,5],[0,6],[0,7],[0,8],[0,9],[0,10],[0,11],[1,2]
+			]}}
+		],
+		"methods": ["sepriv", "gap", "progap"],
+		"epsilons": [0.5, 1.0],
+		"seeds": [1, 2],
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 2}
+	}`
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, body string) (*http.Response, spec.SweepResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr spec.SweepResponse
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, sr
+}
+
+func pollSweepDone(t *testing.T, ts *httptest.Server, id string) spec.SweepResponse {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr spec.SweepResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep poll: HTTP %d", resp.StatusCode)
+		}
+		if sr.Status == "done" || sr.Status == "canceled" {
+			return sr
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s stuck in %q (%+v)", id, sr.Status, sr.Counts)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func sweepResultBytes(t *testing.T, ts *httptest.Server, id string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestSweepHTTPAcceptance is the PR's acceptance criterion: the 24-cell
+// grid over HTTP yields a deterministic table — byte-identical result
+// bodies from fresh services at Workers 1 and 4 — and a restarted service
+// sharing the artifact directory satisfies every cell from the store with
+// zero retraining.
+func TestSweepHTTPAcceptance(t *testing.T) {
+	dir := t.TempDir()
+	var bodies [][]byte
+	var sweepID string
+	for _, workers := range []int{1, 4} {
+		opts := service.Options{MaxWorkers: workers}
+		if workers == 1 {
+			opts.ArtifactDir = dir // seed the store for the restart half
+		}
+		ts, _ := newTestServer(t, opts)
+		resp, sr := postSweep(t, ts, sweepSpecJSON())
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit sweep: HTTP %d", resp.StatusCode)
+		}
+		if len(sr.Cells) != 24 {
+			t.Fatalf("sweep expanded to %d cells, want 24", len(sr.Cells))
+		}
+		if sweepID == "" {
+			sweepID = sr.ID
+		} else if sr.ID != sweepID {
+			t.Fatalf("sweep ID depends on worker count: %s vs %s", sr.ID, sweepID)
+		}
+		fin := pollSweepDone(t, ts, sr.ID)
+		if fin.Counts.Done != 24 || fin.Counts.Failed != 0 {
+			t.Fatalf("workers=%d counts %+v, want 24 done", workers, fin.Counts)
+		}
+		code, body := sweepResultBytes(t, ts, sr.ID)
+		if code != http.StatusOK {
+			t.Fatalf("result: HTTP %d", code)
+		}
+		bodies = append(bodies, body)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("sweep result differs between Workers 1 and 4:\n%s\nvs\n%s", bodies[0], bodies[1])
+	}
+
+	// Restart: a new service over the same artifact directory resubmits the
+	// grid and completes without training a single cell.
+	ts2, svc2 := newTestServer(t, service.Options{MaxWorkers: 2, ArtifactDir: dir})
+	resp, sr := postSweep(t, ts2, sweepSpecJSON())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit after restart: HTTP %d", resp.StatusCode)
+	}
+	if sr.ID != sweepID {
+		t.Fatalf("restart changed the sweep ID: %s vs %s", sr.ID, sweepID)
+	}
+	fin := pollSweepDone(t, ts2, sr.ID)
+	if fin.Counts.Done != 24 {
+		t.Fatalf("restarted sweep counts %+v, want 24 done", fin.Counts)
+	}
+	if tr := svc2.Trainings(); tr != 0 {
+		t.Fatalf("restarted sweep trained %d cells, want 0 (artifact store)", tr)
+	}
+	code, body := sweepResultBytes(t, ts2, sr.ID)
+	if code != http.StatusOK {
+		t.Fatalf("restart result: HTTP %d", code)
+	}
+	if !bytes.Equal(body, bodies[0]) {
+		t.Fatalf("restarted sweep result differs:\n%s\nvs\n%s", body, bodies[0])
+	}
+}
+
+// TestSweepEndpointLifecycle walks the non-happy paths: 409 before the
+// sweep completes, DELETE cancels the exclusively-held remainder, the
+// canceled result is still served, and bad/unknown inputs map to 400/404.
+func TestSweepEndpointLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	// Cells long enough to still be in flight when we poke at the sweep.
+	slow := `{
+		"graphs": [{"inline": {"nodes": 12, "edges": [
+			[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,0],
+			[0,6],[1,7],[2,8],[3,9]
+		]}}],
+		"methods": ["sepriv"],
+		"epsilons": [0.5, 1.0],
+		"seeds": [1, 2],
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 2000000, "private": false}
+	}`
+	resp, sr := postSweep(t, ts, slow)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if code, _ := sweepResultBytes(t, ts, sr.ID); code != http.StatusConflict {
+		t.Fatalf("result before completion: HTTP %d, want 409", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+sr.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: HTTP %d, want 202", dresp.StatusCode)
+	}
+	fin := pollSweepDone(t, ts, sr.ID)
+	if fin.Status != "canceled" {
+		t.Fatalf("sweep status %q after cancel", fin.Status)
+	}
+	if fin.Counts.Canceled == 0 {
+		t.Fatalf("cancel recorded no canceled cells: %+v", fin.Counts)
+	}
+	// A finished (canceled) sweep serves its partial result.
+	code, body := sweepResultBytes(t, ts, sr.ID)
+	if code != http.StatusOK {
+		t.Fatalf("canceled result: HTTP %d, want 200", code)
+	}
+	var res spec.SweepResultResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "canceled" {
+		t.Fatalf("canceled result status %q", res.Status)
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty methods", `{"graphs":[{"inline":{"nodes":3,"edges":[[0,1],[1,2]]}}],"methods":[],"epsilons":[1],"seeds":[1]}`},
+		{"unknown field", `{"graphs":[{"inline":{"nodes":3,"edges":[[0,1],[1,2]]}}],"methods":["sepriv"],"epsilons":[1],"seeds":[1],"bogus":true}`},
+		{"epsilon in config", `{"graphs":[{"inline":{"nodes":3,"edges":[[0,1],[1,2]]}}],"methods":["sepriv"],"epsilons":[1],"seeds":[1],"config":{"epsilon":2}}`},
+		{"not json", `nope`},
+	} {
+		resp, _ := postSweep(t, ts, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: HTTP %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/v1/sweeps/s0000000000000000", "/v1/sweeps/s0000000000000000/result"} {
+		gresp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gresp.Body.Close()
+		if gresp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: HTTP %d, want 404", path, gresp.StatusCode)
+		}
+	}
+}
+
+// TestJobTimingWireShape pins the timing block added to job views:
+// RFC3339Nano timestamps plus fractional-millisecond durations, appearing
+// field by field as the job advances.
+func TestJobTimingWireShape(t *testing.T) {
+	ts, _ := newTestServer(t, service.Options{MaxWorkers: 1})
+	_, jr := postSpec(t, ts, tinySpecJSON(77))
+	pollDone(t, ts, jr.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + jr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire struct {
+		Timing map[string]json.RawMessage `json:"timing"`
+	}
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Timing == nil {
+		t.Fatalf("done job has no timing block: %s", raw)
+	}
+	for _, tc := range []struct {
+		key     string
+		numeric bool
+	}{
+		{"submittedAt", false},
+		{"startedAt", false},
+		{"finishedAt", false},
+		{"queueMs", true},
+		{"runMs", true},
+	} {
+		v, ok := wire.Timing[tc.key]
+		if !ok {
+			t.Fatalf("timing lacks %q: %s", tc.key, raw)
+		}
+		if tc.numeric {
+			var ms float64
+			if err := json.Unmarshal(v, &ms); err != nil || ms < 0 {
+				t.Fatalf("timing[%q] = %s, want non-negative number (%v)", tc.key, v, err)
+			}
+		} else {
+			var ss string
+			if err := json.Unmarshal(v, &ss); err != nil {
+				t.Fatalf("timing[%q] = %s, want string (%v)", tc.key, v, err)
+			}
+			if _, err := time.Parse(time.RFC3339Nano, ss); err != nil {
+				t.Fatalf("timing[%q] = %q is not RFC3339Nano: %v", tc.key, ss, err)
+			}
+		}
+	}
+	var extra []string
+	for k := range wire.Timing {
+		switch k {
+		case "submittedAt", "startedAt", "finishedAt", "queueMs", "runMs":
+		default:
+			extra = append(extra, k)
+		}
+	}
+	if len(extra) != 0 {
+		t.Fatalf("timing grew unpinned fields %v: %s", extra, raw)
+	}
+}
+
+// TestRetryAfterHeader pins the backoff hint on both retryable statuses:
+// 429 (tenant quota) and 503 (submit after shutdown).
+func TestRetryAfterHeader(t *testing.T) {
+	ts, svc := newTestServer(t, service.Options{MaxWorkers: 1, TenantInflight: 1})
+	resp, jr := postSpec(t, ts, longSpecJSON(21, "acme"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first job: HTTP %d", resp.StatusCode)
+	}
+	resp2, _ := postSpec(t, ts, longSpecJSON(22, "acme"))
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second acme job: HTTP %d, want 429", resp2.StatusCode)
+	}
+	if ra := resp2.Header.Get("Retry-After"); ra != fmt.Sprint(retryAfterSeconds) {
+		t.Fatalf("429 Retry-After = %q, want %q", ra, fmt.Sprint(retryAfterSeconds))
+	}
+
+	// Drain and close, then submit: 503, same hint.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+jr.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	svc.CancelAll()
+	svc.Close()
+	resp3, _ := postSpec(t, ts, tinySpecJSON(23))
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close: HTTP %d, want 503", resp3.StatusCode)
+	}
+	if ra := resp3.Header.Get("Retry-After"); ra != fmt.Sprint(retryAfterSeconds) {
+		t.Fatalf("503 Retry-After = %q, want %q", ra, fmt.Sprint(retryAfterSeconds))
+	}
+}

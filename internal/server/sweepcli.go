@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"seprivgemb/internal/spec"
+	"seprivgemb/internal/sweep"
+)
+
+// SweepMain implements `sepriv sweep`: submit a SweepSpec file to a running
+// server, wait for the grid to complete, and print the aggregated
+// comparison table. -watch streams per-cell progress counts while waiting;
+// -format picks the flat TSV (scripts) or the per-graph markdown pivot
+// (humans, and the paper's table shape). Returns the process exit code.
+//
+// Resubmitting the same grid is cheap by design: the sweep ID is a pure
+// function of the canonicalized cell set, so the server joins the existing
+// sweep (or answers a finished one instantly from its artifact-backed
+// aggregate) instead of retraining anything.
+func SweepMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sepriv sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8470", "base URL of the job server")
+		specPath = fs.String("spec", "", "path to the SweepSpec JSON file (required)")
+		watch    = fs.Bool("watch", false, "print cell progress while the sweep runs")
+		format   = fs.String("format", "tsv", "table output: tsv or markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *specPath == "" {
+		fmt.Fprintln(stderr, "sepriv sweep: -spec is required")
+		return 2
+	}
+	if *format != "tsv" && *format != "markdown" {
+		fmt.Fprintf(stderr, "sepriv sweep: -format %q, want tsv or markdown\n", *format)
+		return 2
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "sepriv sweep: %v\n", err)
+		return 1
+	}
+	// Validate locally before submitting: a broken spec should fail with
+	// the validator's message, not a round-trip.
+	if _, err := spec.DecodeSweep(bytes.NewReader(data)); err != nil {
+		fmt.Fprintf(stderr, "sepriv sweep: %v\n", err)
+		return 1
+	}
+	if err := runSweep(*addr, data, *watch, *format, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "sepriv sweep: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func runSweep(addr string, body []byte, watch bool, format string, stdout, status io.Writer) error {
+	client := &http.Client{Timeout: 60 * time.Second}
+	base := strings.TrimRight(addr, "/")
+	resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var sw spec.SweepResponse
+	if err := decodeAs(resp, http.StatusAccepted, &sw); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "sweep %s: %d cells (%s)\n", sw.ID, len(sw.Cells), sw.Metric)
+
+	for sw.Status != "done" && sw.Status != "canceled" {
+		time.Sleep(100 * time.Millisecond)
+		if err := getJSON(client, base+"/v1/sweeps/"+sw.ID, http.StatusOK, &sw); err != nil {
+			return fmt.Errorf("polling sweep %s: %w", sw.ID, err)
+		}
+		if watch {
+			c := sw.Counts
+			fmt.Fprintf(status, "sweep %s: queued %d  running %d  done %d  failed %d  canceled %d\n",
+				sw.ID, c.Queued, c.Running, c.Done, c.Failed, c.Canceled)
+		}
+	}
+
+	var res spec.SweepResultResponse
+	if err := getJSON(client, base+"/v1/sweeps/"+sw.ID+"/result", http.StatusOK, &res); err != nil {
+		return fmt.Errorf("sweep %s result: %w", sw.ID, err)
+	}
+	for _, c := range res.Cells {
+		if c.Status == "failed" {
+			fmt.Fprintf(status, "sweep %s: cell %s/%s eps=%g seed=%d failed: %s\n",
+				res.ID, c.Graph, c.Method, c.Epsilon, c.Seed, c.Error)
+		}
+	}
+	switch format {
+	case "markdown":
+		fmt.Fprint(stdout, sweep.RenderMarkdown(res.Table))
+	default:
+		fmt.Fprint(stdout, sweep.RenderTSV(res.Table))
+	}
+	if res.Counts.Failed > 0 || res.Counts.Canceled > 0 {
+		return fmt.Errorf("sweep %s completed with %d failed and %d canceled cells (table excludes them)",
+			res.ID, res.Counts.Failed, res.Counts.Canceled)
+	}
+	return nil
+}

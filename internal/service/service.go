@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/experiments"
@@ -139,9 +140,21 @@ type Service struct {
 	jobs    map[experiments.ResultKey]*Job
 	byID    map[string]*Job
 	tenants map[string]int // unfinished jobs per tenant
+	sweeps  map[string]*Sweep
 	closed  bool
 	wg      sync.WaitGroup
+
+	// trainings counts actual tr.Train invocations — NOT submissions, memo
+	// hits, or artifact loads. The observable half of the dedup contract:
+	// a resubmitted sweep asserting "zero retraining" asserts this counter.
+	trainings atomic.Uint64
 }
+
+// Trainings returns how many training runs this service has actually
+// executed (memo and artifact hits excluded). A re-served result of any
+// kind leaves it unchanged, which is what makes it the right assertion for
+// cache-hit tests.
+func (s *Service) Trainings() uint64 { return s.trainings.Load() }
 
 // New returns a Service ready to accept submissions. It panics only on
 // unusable ArtifactDir (fail fast at construction, not mid-job); every
@@ -159,6 +172,7 @@ func New(opts Options) *Service {
 		jobs:    make(map[experiments.ResultKey]*Job),
 		byID:    make(map[string]*Job),
 		tenants: make(map[string]int),
+		sweeps:  make(map[string]*Sweep),
 	}
 	if opts.ArtifactDir != "" {
 		store, err := NewStore(opts.ArtifactDir)
@@ -299,6 +313,20 @@ type Job struct {
 	canceled atomic.Bool
 	stats    atomic.Value // core.EpochStats of the latest completed epoch
 
+	// holders counts the independent submissions deduplicated onto this
+	// job: 1 at creation, +1 per adoption. A sweep canceling its cells
+	// skips any job with other holders — cancellation must not reach
+	// through dedup into work someone else is still waiting on.
+	holders atomic.Int32
+
+	// Lifecycle timeline. submittedAt is set once before the run goroutine
+	// starts; startedAt/finishedAt are atomically published at the status
+	// transitions they mirror (startedAt stays zero for a job canceled
+	// while queued).
+	submittedAt time.Time
+	startedAt   atomic.Int64 // UnixNano; 0 = not started
+	finishedAt  atomic.Int64 // UnixNano; 0 = not finished
+
 	// res/err are written once, before done is closed.
 	res *core.Result
 	err error
@@ -345,6 +373,24 @@ func (j *Job) Progress() (core.EpochStats, bool) {
 
 // Done returns a channel closed when the job finishes (any terminal status).
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Holders returns how many independent submissions this job currently
+// serves (1 + adoptions).
+func (j *Job) Holders() int { return int(j.holders.Load()) }
+
+// Timing returns the job's lifecycle timeline: when it was accepted, when
+// it acquired worker slots, and when it reached a terminal status. started
+// and finished are zero until the corresponding transition happens.
+func (j *Job) Timing() (submitted, started, finished time.Time) {
+	submitted = j.submittedAt
+	if ns := j.startedAt.Load(); ns != 0 {
+		started = time.Unix(0, ns)
+	}
+	if ns := j.finishedAt.Load(); ns != 0 {
+		finished = time.Unix(0, ns)
+	}
+	return submitted, started, finished
+}
 
 // Cancel requests cancellation. The training loop stops at the next epoch
 // boundary with a partial, resumable Result. Canceling a job cancels the
@@ -595,6 +641,7 @@ func (s *Service) submit(method string, g *graph.Graph, prox proximity.Proximity
 		// an urgent caller is never stuck behind the first submitter's
 		// patience.
 		if st != StatusFailed && st != StatusCanceled && !j.canceled.Load() {
+			j.holders.Add(1)
 			if priority > int(j.priority.Load()) {
 				j.priority.Store(int32(priority))
 				if w := j.waiter; w != nil {
@@ -612,12 +659,14 @@ func (s *Service) submit(method string, g *graph.Graph, prox proximity.Proximity
 	s.tenants[tenant]++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		id:     JobID(key),
-		key:    key,
-		tenant: tenant,
-		cancel: cancel,
-		done:   make(chan struct{}),
+		id:          JobID(key),
+		key:         key,
+		tenant:      tenant,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		submittedAt: time.Now(),
 	}
+	j.holders.Store(1)
 	j.priority.Store(int32(priority))
 	s.jobs[key] = j
 	s.byID[j.id] = j
@@ -682,6 +731,9 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 	defer s.wg.Done()
 	defer close(j.done)
 	defer s.finish(j)
+	// The finish stamp lands before done closes (defers run LIFO), so a
+	// waiter woken by Done always observes a non-zero finishedAt.
+	defer func() { j.finishedAt.Store(time.Now().UnixNano()) }()
 	n := s.slotsFor(cfg)
 	if err := s.acquire(ctx, j, n); err != nil {
 		// Canceled while queued: no training happened, so there is no
@@ -696,6 +748,7 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 	// an admission count. Safe: Workers is excluded from Config.Hash
 	// because it never changes a result bit.
 	cfg.Workers = n
+	j.startedAt.Store(time.Now().UnixNano())
 	j.status.Store(int32(StatusRunning))
 	tr, err := methods.Get(j.key.Method)
 	if err != nil {
@@ -732,6 +785,7 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 				return cached, nil
 			}
 		}
+		s.trainings.Add(1)
 		res, err := tr.Train(ctx, g, prox, cfg, core.Hooks{
 			Epoch: func(st core.EpochStats) { j.stats.Store(st) },
 		})

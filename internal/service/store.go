@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -10,12 +11,14 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/methods"
 	"seprivgemb/internal/skipgram"
+	"seprivgemb/internal/spec"
 )
 
 // artifactVersion identifies the on-disk result layout; bump on any field
@@ -72,7 +75,14 @@ type Store struct {
 	// legacyOnce bounds the degraded-path log for pre-index artifacts to
 	// one line per Store, not one per request.
 	legacyOnce sync.Once
+	// hits counts Loads that actually served a persisted result — the
+	// durable-tier twin of Service.Trainings, so a restart-resubmission
+	// test can assert "every cell came from disk".
+	hits atomic.Uint64
 }
+
+// Hits returns how many Load calls served a persisted result.
+func (st *Store) Hits() uint64 { return st.hits.Load() }
 
 // NewStore opens (creating if needed) an artifact directory.
 func NewStore(dir string) (*Store, error) {
@@ -173,6 +183,60 @@ func (st *Store) Load(key experiments.ResultKey) (*core.Result, bool) {
 	defer f.Close()
 	res, err := readArtifact(f, key)
 	if err != nil {
+		return nil, false
+	}
+	st.hits.Add(1)
+	return res, true
+}
+
+// sweepPath places a sweep artifact. Sweep IDs are "s" + 16 hex digits —
+// filename-safe by construction.
+func (st *Store) sweepPath(id string) string {
+	return filepath.Join(st.dir, sanitizeName(id)+".sweep.json")
+}
+
+// SaveSweep persists a finished sweep's aggregated outcome with the same
+// atomic write discipline as result artifacts. The artifact IS the wire
+// response (spec.SweepResultResponse as JSON), so a table served from disk
+// after a restart is byte-identical to the one served at completion.
+func (st *Store) SaveSweep(res *spec.SweepResultResponse) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	path := st.sweepPath(res.ID)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadSweep retrieves a persisted sweep outcome, false on any miss — the
+// ID is re-verified against the decoded artifact so a renamed file cannot
+// answer for a different sweep.
+func (st *Store) LoadSweep(id string) (*spec.SweepResultResponse, bool) {
+	data, err := os.ReadFile(st.sweepPath(id))
+	if err != nil {
+		return nil, false
+	}
+	res := &spec.SweepResultResponse{}
+	if err := json.Unmarshal(data, res); err != nil || res.ID != id {
 		return nil, false
 	}
 	return res, true

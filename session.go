@@ -71,6 +71,23 @@ type (
 	// description, default flag, and whether the method consumes the
 	// structure preference. See Methods.
 	MethodInfo = methods.Info
+	// SweepSpec declares a whole comparison grid — (graph × method ×
+	// ε × seed), the paper's evaluation shape — submitted as one unit;
+	// see Service.SubmitSweep.
+	SweepSpec = spec.SweepSpec
+	// SweepEval selects how each sweep cell's embedding is scored
+	// (strucequ or linkauc, with their parameters).
+	SweepEval = spec.EvalSpec
+	// Sweep is the handle to a submitted comparison grid: observable
+	// (Status), awaitable (Wait), cancellable (Cancel — only cells no
+	// other submitter holds are stopped).
+	Sweep = service.Sweep
+	// SweepResult is a completed sweep's aggregate: per-cell outcomes and
+	// the (graph, method, ε) → mean±std table, in the same wire layout
+	// the HTTP API serves and persists.
+	SweepResult = spec.SweepResultResponse
+	// SweepTable is the aggregated comparison table of a completed sweep.
+	SweepTable = spec.SweepTable
 )
 
 // DefaultMethod is the training method selected when none is named:
@@ -310,6 +327,29 @@ func (s *Service) SubmitSpec(sp JobSpec) (*Job, error) {
 // (the same ID the HTTP API reports).
 func (s *Service) JobByID(id string) (*Job, bool) {
 	return s.svc.JobByID(id)
+}
+
+// SubmitSweep expands a SweepSpec into its (graph × method × ε × seed)
+// cells and fans them through the job queue: every cell deduplicates
+// against prior jobs and sweeps via the memo and artifact store, so a
+// re-submitted grid is a cache hit that never retrains. Identical grids —
+// however their axes were ordered — share one deterministic sweep ID and
+// one handle. Failed cells are recorded and excluded from the aggregate;
+// the sweep still completes.
+func (s *Service) SubmitSweep(sp *SweepSpec) (*Sweep, error) {
+	return s.svc.SubmitSweep(sp)
+}
+
+// SweepByID returns the live sweep registered under its deterministic ID.
+func (s *Service) SweepByID(id string) (*Sweep, bool) {
+	return s.svc.SweepByID(id)
+}
+
+// SweepResultByID returns a completed sweep's aggregate — from the live
+// sweep, or from the persisted sweep artifact after a restart, where the
+// table is byte-identical to the one served at completion.
+func (s *Service) SweepResultByID(id string) (*SweepResult, bool) {
+	return s.svc.SweepResult(id)
 }
 
 // ResultRows returns rows [lo, hi) of a finished job's embedding. When
