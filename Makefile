@@ -1,8 +1,10 @@
 GO ?= go
 # Benchmark → JSON recording for the perf trajectory; bump per PR.
-BENCH_JSON ?= BENCH_pr8.json
+BENCH_JSON ?= BENCH_pr9.json
 # The previous PR's recording, the regression baseline for bench-diff.
-BENCH_BASE ?= BENCH_pr7.json
+BENCH_BASE ?= BENCH_pr8.json
+# The replica-set load report recorded by `make loadtest`.
+LOAD_JSON ?= BENCH_load_pr9.json
 # The sharded-stage benchmarks: the DP noise/update stage, the one-shot
 # graph passes, the whole-train scaling curve, the sharded evaluation
 # metrics (PR 3), the sharded proximity stats/edge-weight scans (PR 4),
@@ -12,7 +14,7 @@ BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|Str
 # Per-target fuzz budget for fuzz-kernels (Go's -fuzztime syntax).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fmt-check bench bench-json bench-diff fuzz-kernels serve-smoke verify
+.PHONY: build test vet race fmt-check bench bench-json bench-diff fuzz-kernels serve-smoke loadtest loadtest-smoke verify
 
 build:
 	$(GO) build ./...
@@ -67,6 +69,19 @@ fuzz-kernels:
 # a tiny inline job over real HTTP, poll it to done, and fetch the result.
 serve-smoke:
 	$(GO) run ./cmd/seprivd -selftest
+
+# Replica-set load test: two in-process replicas over one shared artifact
+# dir under a readers/writers mix; records rows/s and the read-latency
+# histogram as $(LOAD_JSON).
+loadtest:
+	$(GO) run ./cmd/loadgen -selfhost 2 -jobs 4 -writers 2 -readers 8 -duration 5s -out $(LOAD_JSON)
+	@cat $(LOAD_JSON)
+
+# The CI form: a short run that asserts the replica-set invariants —
+# zero duplicate trainings across the set and at least one row window
+# served by a replica the job was never submitted to.
+loadtest-smoke:
+	$(GO) run ./cmd/loadgen -selfhost 2 -jobs 3 -writers 1 -readers 4 -duration 2s -smoke -out $(LOAD_JSON)
 
 # Tier-1 verification in one command — the same gate
 # .github/workflows/ci.yml runs on every push/PR.

@@ -1,0 +1,476 @@
+// Command loadgen drives a replica set with a configurable read/write
+// mix and reports serving throughput and latency.
+//
+// Two targeting modes:
+//
+//	loadgen -selfhost 2 [flags]        # stand up N in-process replicas
+//	                                   # over one shared artifact dir
+//	loadgen -addrs http://a,http://b   # aim at externally running ones
+//
+// The workload has two phases. First the writers submit -jobs distinct
+// JobSpecs round-robin across the replicas and wait for every artifact
+// to land. Then, for -duration, the readers fetch random row windows of
+// random jobs from random replicas — deliberately including replicas
+// that never saw the job submitted, the cross-replica serving path —
+// while the writers keep re-submitting the same specs (pure dedup
+// traffic). Every read is verified: the window must be the requested
+// size and carry the job's one true full-matrix embedding hash, on
+// whichever replica served it.
+//
+// The report (one JSON object, written to -out or stdout) records the
+// mix, rows/s, a read-latency histogram with percentiles, and — in
+// selfhost mode, where the processes are inspectable — the training
+// counts that prove the lease protocol deduplicated work across the
+// set. -smoke turns those observations into assertions: exactly one
+// training per distinct spec, and at least one read served by a
+// non-submitting replica. `make loadtest` records the report as
+// BENCH_load_pr9.json; `make loadtest-smoke` gates CI on the
+// assertions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seprivgemb/internal/replica"
+	"seprivgemb/internal/server"
+	"seprivgemb/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the JSON shape loadgen emits — the BENCH_load_pr9.json
+// schema.
+type report struct {
+	Bench    string `json:"bench"`
+	Replicas int    `json:"replicas"`
+	Selfhost bool   `json:"selfhost"`
+	Jobs     int    `json:"jobs"`
+	Writers  int    `json:"writers"`
+	Readers  int    `json:"readers"`
+	Page     int    `json:"page"`
+	Duration string `json:"duration"`
+
+	Reads       int64   `json:"reads"`
+	RowsRead    int64   `json:"rowsRead"`
+	RowsPerSec  float64 `json:"rowsPerSec"`
+	ReadsPerSec float64 `json:"readsPerSec"`
+	Resubmits   int64   `json:"resubmits"`
+
+	ReadLatencyMs latencySummary `json:"readLatencyMs"`
+
+	// CrossReplicaReads counts reads answered by a replica other than the
+	// one the job was submitted to — each one exercised the by-ID
+	// shared-store serving path end to end.
+	CrossReplicaReads int64 `json:"crossReplicaReads"`
+
+	// Trainings/DuplicateTrainings are observable only in selfhost mode
+	// (they sum Service.Trainings() across the in-process replicas); -1
+	// when targeting external servers.
+	Trainings          int64 `json:"trainings"`
+	DuplicateTrainings int64 `json:"duplicateTrainings"`
+}
+
+type latencySummary struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, code, err := parseFlags(args, stderr)
+	if err != nil || code != 0 {
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		}
+		return code
+	}
+
+	var addrs []string
+	var svcs []*service.Service
+	if cfg.selfhost > 0 {
+		dir, err := os.MkdirTemp("", "loadgen-store-*")
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		var servers []*httptest.Server
+		for i := 0; i < cfg.selfhost; i++ {
+			mgr, err := replica.NewManager(dir, fmt.Sprintf("loadgen-%d", i), replica.DefaultTTL)
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: %v\n", err)
+				return 1
+			}
+			svc := service.New(service.Options{ArtifactDir: dir, Replica: mgr})
+			ts := httptest.NewServer(server.New(svc).Handler())
+			svcs = append(svcs, svc)
+			servers = append(servers, ts)
+			addrs = append(addrs, ts.URL)
+		}
+		defer func() {
+			for i, ts := range servers {
+				ts.Close()
+				svcs[i].CancelAll()
+				svcs[i].Close()
+			}
+		}()
+	} else {
+		addrs = cfg.addrs
+	}
+
+	rep, err := drive(cfg, addrs, svcs, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	out := io.Writer(stdout)
+	if cfg.outPath != "" {
+		f, err := os.Create(cfg.outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+
+	if cfg.smoke {
+		if rep.DuplicateTrainings != 0 {
+			fmt.Fprintf(stderr, "loadgen: SMOKE FAIL: %d duplicate trainings across the set (want 0: one training per distinct spec)\n",
+				rep.DuplicateTrainings)
+			return 1
+		}
+		if rep.CrossReplicaReads == 0 {
+			fmt.Fprintln(stderr, "loadgen: SMOKE FAIL: no read was served by a non-submitting replica")
+			return 1
+		}
+		fmt.Fprintf(stderr, "loadgen: smoke OK: %d trainings for %d specs, %d cross-replica reads\n",
+			rep.Trainings, rep.Jobs, rep.CrossReplicaReads)
+	}
+	return 0
+}
+
+type config struct {
+	addrs    []string
+	selfhost int
+	jobs     int
+	writers  int
+	readers  int
+	page     int
+	duration time.Duration
+	seed     int64
+	outPath  string
+	smoke    bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (*config, int, error) {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addrs    = fs.String("addrs", "", "comma-separated base URLs of running replicas (alternative to -selfhost)")
+		selfhost = fs.Int("selfhost", 0, "stand up this many in-process replicas over one shared artifact dir")
+		jobs     = fs.Int("jobs", 4, "distinct JobSpecs in the working set")
+		writers  = fs.Int("writers", 2, "concurrent re-submitters during the read phase (dedup traffic)")
+		readers  = fs.Int("readers", 8, "concurrent row-window readers")
+		page     = fs.Int("page", 16, "rows per read")
+		duration = fs.Duration("duration", 5*time.Second, "read-phase length")
+		seed     = fs.Int64("seed", 1, "workload RNG seed (job placement, window choice)")
+		outPath  = fs.String("out", "", "write the JSON report here instead of stdout")
+		smoke    = fs.Bool("smoke", false, "assert zero duplicate trainings and >0 cross-replica reads (needs -selfhost)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, 2, nil
+	}
+	cfg := &config{
+		selfhost: *selfhost, jobs: *jobs, writers: *writers, readers: *readers,
+		page: *page, duration: *duration, seed: *seed, outPath: *outPath, smoke: *smoke,
+	}
+	if *addrs != "" {
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.addrs = append(cfg.addrs, strings.TrimRight(a, "/"))
+			}
+		}
+	}
+	switch {
+	case cfg.selfhost > 0 && len(cfg.addrs) > 0:
+		return nil, 2, fmt.Errorf("use -selfhost or -addrs, not both")
+	case cfg.selfhost == 0 && len(cfg.addrs) == 0:
+		return nil, 2, fmt.Errorf("one of -selfhost or -addrs is required")
+	case cfg.smoke && cfg.selfhost == 0:
+		return nil, 2, fmt.Errorf("-smoke needs -selfhost (training counts are only observable in-process)")
+	case cfg.jobs < 1 || cfg.readers < 1 || cfg.page < 1:
+		return nil, 2, fmt.Errorf("want -jobs >= 1, -readers >= 1, -page >= 1")
+	}
+	return cfg, 0, nil
+}
+
+// jobSpec builds the i-th distinct workload spec: one small ring-graph
+// training, distinct by seed (seed is part of the dedup key, so each i
+// is its own job everywhere in the set).
+func jobSpec(i int) string {
+	return fmt.Sprintf(`{
+		"graph": {"inline": {"nodes": 24, "edges": [
+			[0,1],[1,2],[2,3],[3,4],[4,5],[5,6],[6,7],[7,8],[8,9],[9,10],[10,11],[11,12],
+			[12,13],[13,14],[14,15],[15,16],[16,17],[17,18],[18,19],[19,20],[20,21],[21,22],
+			[22,23],[23,0],[0,12],[3,15],[6,18],[9,21]
+		]}},
+		"proximity": "degree",
+		"config": {"dim": 8, "batchSize": 8, "maxEpochs": 3, "seed": %d}
+	}`, 1000+i)
+}
+
+// placedJob is one working-set member: its ID, which replica it was
+// submitted to, its matrix shape, and its full-matrix hash (learned from
+// the submit replica, asserted against every subsequent read).
+type placedJob struct {
+	id    string
+	home  int
+	nodes int
+	hash  string
+}
+
+func drive(cfg *config, addrs []string, svcs []*service.Service, stderr io.Writer) (*report, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Phase 1: place the working set round-robin and wait for artifacts.
+	jobs := make([]placedJob, cfg.jobs)
+	for i := range jobs {
+		home := i % len(addrs)
+		id, err := submit(client, addrs[home], jobSpec(i))
+		if err != nil {
+			return nil, fmt.Errorf("submit job %d: %w", i, err)
+		}
+		jobs[i] = placedJob{id: id, home: home}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for i := range jobs {
+		nodes, hash, err := awaitDone(client, addrs[jobs[i].home], jobs[i].id, deadline)
+		if err != nil {
+			return nil, fmt.Errorf("await job %d: %w", i, err)
+		}
+		jobs[i].nodes, jobs[i].hash = nodes, hash
+	}
+
+	// Phase 2: the timed read/write mix.
+	var (
+		reads, rows, cross, resubmits atomic.Int64
+		mu                            sync.Mutex
+		latencies                     []time.Duration
+		firstErr                      atomic.Value
+	)
+	stop := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		// Per-reader RNG stream: deterministic under -seed, no lock.
+		rrng := rand.New(rand.NewSource(cfg.seed + int64(r) + 1))
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			for time.Now().Before(stop) {
+				j := jobs[rrng.Intn(len(jobs))]
+				target := rrng.Intn(len(addrs))
+				lo := 0
+				if j.nodes > cfg.page {
+					lo = rrng.Intn(j.nodes - cfg.page)
+				}
+				hi := lo + cfg.page
+				if hi > j.nodes {
+					hi = j.nodes
+				}
+				start := time.Now()
+				got, hash, err := readWindow(client, addrs[target], j.id, lo, hi)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("read %s rows %d-%d via replica %d: %w", j.id, lo, hi, target, err))
+					return
+				}
+				local = append(local, time.Since(start))
+				if hash != j.hash || got != hi-lo {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("read %s via replica %d: %d rows hash %s, want %d rows hash %s",
+						j.id, target, got, hash, hi-lo, j.hash))
+					return
+				}
+				reads.Add(1)
+				rows.Add(int64(got))
+				if target != j.home {
+					cross.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		wrng := rand.New(rand.NewSource(cfg.seed + 1000 + int64(w)))
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				i := wrng.Intn(len(jobs))
+				if _, err := submit(client, addrs[wrng.Intn(len(addrs))], jobSpec(i)); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("resubmit job %d: %w", i, err))
+					return
+				}
+				resubmits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	rep := &report{
+		Bench:    "loadgen",
+		Replicas: len(addrs),
+		Selfhost: len(svcs) > 0,
+		Jobs:     cfg.jobs,
+		Writers:  cfg.writers,
+		Readers:  cfg.readers,
+		Page:     cfg.page,
+		Duration: cfg.duration.String(),
+
+		Reads:       reads.Load(),
+		RowsRead:    rows.Load(),
+		RowsPerSec:  float64(rows.Load()) / cfg.duration.Seconds(),
+		ReadsPerSec: float64(reads.Load()) / cfg.duration.Seconds(),
+		Resubmits:   resubmits.Load(),
+
+		ReadLatencyMs:      summarize(latencies),
+		CrossReplicaReads:  cross.Load(),
+		Trainings:          -1,
+		DuplicateTrainings: -1,
+	}
+	if len(svcs) > 0 {
+		var total uint64
+		for _, svc := range svcs {
+			total += svc.Trainings()
+		}
+		rep.Trainings = int64(total)
+		rep.DuplicateTrainings = int64(total) - int64(cfg.jobs)
+	}
+	return rep, nil
+}
+
+func summarize(lat []time.Duration) latencySummary {
+	if len(lat) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return latencySummary{
+		P50: ms(at(0.50)),
+		P90: ms(at(0.90)),
+		P99: ms(at(0.99)),
+		Max: ms(lat[len(lat)-1]),
+	}
+}
+
+func submit(client *http.Client, addr, body string) (string, error) {
+	resp, err := client.Post(addr+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &job); err != nil {
+		return "", err
+	}
+	return job.ID, nil
+}
+
+func awaitDone(client *http.Client, addr, id string, deadline time.Time) (nodes int, hash string, err error) {
+	for {
+		var job struct {
+			Status string `json:"status"`
+		}
+		if err := getJSON(client, addr+"/v1/jobs/"+id, &job); err != nil {
+			return 0, "", err
+		}
+		switch job.Status {
+		case "done":
+			var res struct {
+				Nodes         int    `json:"nodes"`
+				EmbeddingHash string `json:"embeddingHash"`
+			}
+			if err := getJSON(client, addr+"/v1/jobs/"+id+"/result?embedding=none", &res); err != nil {
+				return 0, "", err
+			}
+			if res.EmbeddingHash == "" {
+				return 0, "", fmt.Errorf("job %s done without an embedding hash", id)
+			}
+			return res.Nodes, res.EmbeddingHash, nil
+		case "failed", "canceled":
+			return 0, "", fmt.Errorf("job %s ended %q", id, job.Status)
+		}
+		if time.Now().After(deadline) {
+			return 0, "", fmt.Errorf("job %s stuck in %q", id, job.Status)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func readWindow(client *http.Client, addr, id string, lo, hi int) (rows int, hash string, err error) {
+	var res struct {
+		EmbeddingHash string      `json:"embeddingHash"`
+		Embedding     [][]float64 `json:"embedding"`
+	}
+	url := fmt.Sprintf("%s/v1/jobs/%s/result/rows/%d-%d", addr, id, lo, hi)
+	if err := getJSON(client, url, &res); err != nil {
+		return 0, "", err
+	}
+	return len(res.Embedding), res.EmbeddingHash, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	return json.Unmarshal(raw, v)
+}

@@ -35,6 +35,10 @@
 // paper's evaluation shape — as one SweepSpec, waits for it, and prints the
 // aggregated mean±std table. Cells deduplicate against prior jobs and
 // sweeps, so repeating a grid never retrains. See internal/sweep.
+//
+// `sepriv admin gc -artifact-dir DIR [-max-age 1h]` runs the shared-store
+// janitor offline: expired job-ownership leases and orphaned write
+// partials are reaped. See internal/replica.
 package main
 
 import (
@@ -72,6 +76,8 @@ func main() {
 			os.Exit(server.FetchMain(os.Args[2:], os.Stdout, os.Stderr))
 		case "sweep":
 			os.Exit(server.SweepMain(os.Args[2:], os.Stdout, os.Stderr))
+		case "admin":
+			os.Exit(server.AdminMain(os.Args[2:], os.Stdout, os.Stderr))
 		}
 	}
 	var (

@@ -74,6 +74,17 @@
 // holds. POST /v1/sweeps and `sepriv sweep -spec sweep.json` speak the
 // same contract over HTTP; examples/sweep is the walkthrough.
 //
+// The server scales out as a replica set (DESIGN.md §14): N seprivd
+// instances sharing one artifact directory coordinate purely through
+// atomic lease files in the store — a spec submitted to any replica
+// trains on exactly one (create-exclusive grant, TTL heartbeat,
+// rename-aside takeover when an owner crashes) and every replica
+// serves the result, row windows, and events off the shared disk.
+// GET /v1/jobs/{id}/events streams per-epoch progress and the terminal
+// outcome over SSE, on owners and non-owners alike; NewReplicaManager +
+// ServiceOptions.Replica expose the same mode to the Go API, and
+// examples/replicas is the walkthrough.
+//
 // Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs
 // subgraph generation, the per-epoch gradient stage AND the DP noise/update
 // stage on goroutine pools that preserve bit-identical results at every

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"seprivgemb/internal/replica"
+)
+
+// AdminMain is `sepriv admin`: operator maintenance commands that act on
+// an artifact directory directly, without a running server. One
+// subcommand today:
+//
+//	sepriv admin gc -artifact-dir DIR [-max-age 1h]
+//
+// runs the store janitor: expired job-ownership leases are removed
+// (their TTL has passed — the owner crashed or lost the directory), and
+// orphaned write partials (".tmp" files and rename-aside lease remains
+// older than -max-age) are reaped. The same sweep runs automatically on
+// every service startup; the command exists for crash cleanup on a
+// shared store that no replica is about to restart over.
+func AdminMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 || args[0] != "gc" {
+		fmt.Fprintln(stderr, "usage: sepriv admin gc -artifact-dir DIR [-max-age 1h]")
+		return 2
+	}
+	fs := flag.NewFlagSet("sepriv admin gc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir    = fs.String("artifact-dir", "", "artifact directory to sweep (required)")
+		maxAge = fs.Duration("max-age", time.Hour, "reap write partials older than this; expired leases go regardless (0 = leases only)")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	if *dir == "" {
+		fmt.Fprintln(stderr, "sepriv admin gc: -artifact-dir is required")
+		return 2
+	}
+	leases, tmps, err := replica.SweepDir(*dir, *maxAge, time.Now())
+	if err != nil {
+		fmt.Fprintf(stderr, "sepriv admin gc: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "sepriv admin gc: removed %d expired lease(s), %d orphaned partial(s) from %s\n",
+		leases, tmps, *dir)
+	return 0
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// This file is the client half of the server's backpressure contract.
+// The server attaches Retry-After to its retryable statuses — 429 when a
+// tenant is over quota, 503 while draining — and the CLI clients
+// (`sepriv fetch`, `sepriv sweep -watch`) honor it here: a GET that
+// lands on one of those statuses is retried after the advertised wait,
+// or after capped-jitter exponential backoff when the server names no
+// wait. Everything is injectable (clock, sleeper, jitter seed) so the
+// schedule is unit-testable without a single real sleep.
+
+// Retry policy constants.
+const (
+	// retryAttempts bounds a single logical GET: the first try plus up to
+	// this many retries of retryable statuses. Terminal statuses and
+	// transport errors never retry.
+	retryAttempts = 4
+	// retryBase seeds the exponential schedule: attempt n waits ~base·2ⁿ.
+	retryBase = 250 * time.Millisecond
+	// retryCap bounds any single wait, advertised or computed — a server
+	// asking for an hour gets this much politeness, no more.
+	retryCap = 10 * time.Second
+)
+
+// retryPolicy decides whether and how long to wait between attempts of
+// one GET. The zero value is unusable; take defaultRetryPolicy and
+// override fields in tests.
+type retryPolicy struct {
+	attempts int
+	base     time.Duration
+	cap      time.Duration
+	jitter   uint64              // splitmix64 state; advanced per draw
+	now      func() time.Time    // for HTTP-date Retry-After arithmetic
+	sleep    func(time.Duration) // the only blocking call
+}
+
+func defaultRetryPolicy() *retryPolicy {
+	return &retryPolicy{
+		attempts: retryAttempts,
+		base:     retryBase,
+		cap:      retryCap,
+		jitter:   0x9e3779b97f4a7c15,
+		now:      time.Now,
+		sleep:    time.Sleep,
+	}
+}
+
+// retryableStatus reports whether a status invites a retry. Only the two
+// statuses the server documents as backpressure qualify; anything else —
+// 404, 409, 500 — means retrying cannot help.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// delay computes the wait before retry number attempt (0-based), given
+// the response's Retry-After header (may be empty). An advertised wait
+// is honored exactly, capped; without one the schedule is equal-jitter
+// exponential — half of base·2ᵃᵗᵗᵉᵐᵖᵗ deterministic, half jittered — so
+// a fleet of clients bounced at once does not reconverge in lockstep.
+func (p *retryPolicy) delay(attempt int, retryAfter string) time.Duration {
+	if d, ok := p.parseRetryAfter(retryAfter); ok {
+		if d < 0 {
+			d = 0
+		}
+		if d > p.cap {
+			d = p.cap
+		}
+		return d
+	}
+	d := p.base << attempt
+	if d > p.cap || d <= 0 { // <= 0 guards shift overflow
+		d = p.cap
+	}
+	half := d / 2
+	return half + time.Duration(p.rand(uint64(half)+1))
+}
+
+// parseRetryAfter resolves the two legal header forms — delta-seconds
+// and HTTP-date — to a duration from now.
+func (p *retryPolicy) parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		return t.Sub(p.now()), true
+	}
+	return 0, false
+}
+
+// rand draws a deterministic pseudo-random value in [0, n) by advancing
+// the policy's splitmix64 stream — jitter that a fake-clock test can
+// predict exactly from the seed.
+func (p *retryPolicy) rand(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	p.jitter += 0x9e3779b97f4a7c15
+	z := p.jitter
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z % n
+}
+
+// get performs client.Get with the policy's retry schedule: retryable
+// statuses are drained, closed, waited out, and retried up to the
+// attempt budget; the final response (of whatever status) is returned
+// for the caller's ordinary decoding and error mapping.
+func (p *retryPolicy) get(client *http.Client, url string) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		if !retryableStatus(resp.StatusCode) || attempt >= p.attempts {
+			return resp, nil
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		// Drain so the transport can reuse the connection for the retry.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		p.sleep(p.delay(attempt, retryAfter))
+	}
+}

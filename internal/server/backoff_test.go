@@ -1,0 +1,198 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePolicy returns a policy with a frozen clock and a sleep recorder —
+// the whole retry schedule observable without one real wait.
+func fakePolicy(now time.Time) (*retryPolicy, *[]time.Duration) {
+	slept := &[]time.Duration{}
+	p := defaultRetryPolicy()
+	p.now = func() time.Time { return now }
+	p.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	return p, slept
+}
+
+func TestRetryableStatus(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusTooManyRequests:     true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusOK:                  false,
+		http.StatusNotFound:            false,
+		http.StatusConflict:            false,
+		http.StatusInternalServerError: false,
+		http.StatusBadGateway:          false,
+	} {
+		if got := retryableStatus(code); got != want {
+			t.Errorf("retryableStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+// TestDelayHonorsRetryAfterSeconds: an advertised delta-seconds wait is
+// used exactly — no jitter — and clamped to the cap.
+func TestDelayHonorsRetryAfterSeconds(t *testing.T) {
+	p, _ := fakePolicy(time.Unix(1754650000, 0))
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"3", 3 * time.Second},
+		{"0", 0},
+		{"-5", 0},                // hostile header: never sleep negative
+		{"9999", retryCap},       // an hour of politeness is still 10s
+		{"10", 10 * time.Second}, // exactly the cap passes through
+	} {
+		if got := p.delay(0, tc.header); got != tc.want {
+			t.Errorf("delay(Retry-After: %q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestDelayHonorsRetryAfterDate: the HTTP-date form is resolved against
+// the injected clock, not the wall clock.
+func TestDelayHonorsRetryAfterDate(t *testing.T) {
+	now := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	p, _ := fakePolicy(now)
+
+	future := now.Add(2 * time.Second).Format(http.TimeFormat)
+	if got := p.delay(0, future); got != 2*time.Second {
+		t.Errorf("delay(date now+2s) = %v, want 2s", got)
+	}
+	past := now.Add(-time.Minute).Format(http.TimeFormat)
+	if got := p.delay(0, past); got != 0 {
+		t.Errorf("delay(date in the past) = %v, want 0", got)
+	}
+	far := now.Add(time.Hour).Format(http.TimeFormat)
+	if got := p.delay(0, far); got != retryCap {
+		t.Errorf("delay(date now+1h) = %v, want the cap %v", got, retryCap)
+	}
+}
+
+// TestDelayEqualJitterBounds: with no advertised wait, attempt n lands
+// in [base·2ⁿ/2, base·2ⁿ], capped — never zero, never lockstep-free-of-
+// floor, never past the cap.
+func TestDelayEqualJitterBounds(t *testing.T) {
+	p, _ := fakePolicy(time.Unix(1754650000, 0))
+	for attempt := 0; attempt < 12; attempt++ {
+		d := p.base << attempt
+		if d > p.cap || d <= 0 {
+			d = p.cap
+		}
+		for i := 0; i < 32; i++ { // many jitter draws per attempt
+			got := p.delay(attempt, "")
+			if got < d/2 || got > d {
+				t.Fatalf("delay(attempt %d) = %v, want within [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+// TestDelayDeterministicPerSeed: two policies with the same jitter seed
+// produce the identical schedule — what makes the e2e test below exact.
+func TestDelayDeterministicPerSeed(t *testing.T) {
+	p1, _ := fakePolicy(time.Unix(1754650000, 0))
+	p2, _ := fakePolicy(time.Unix(1754650000, 0))
+	for attempt := 0; attempt < 8; attempt++ {
+		d1, d2 := p1.delay(attempt, ""), p2.delay(attempt, "")
+		if d1 != d2 {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", attempt, d1, d2)
+		}
+	}
+}
+
+func TestParseRetryAfterGarbage(t *testing.T) {
+	p, _ := fakePolicy(time.Unix(1754650000, 0))
+	for _, v := range []string{"", "soon", "1.5", "Tuesday-ish"} {
+		if _, ok := p.parseRetryAfter(v); ok {
+			t.Errorf("parseRetryAfter(%q) accepted garbage", v)
+		}
+	}
+}
+
+// TestGetHonorsRetryAfterEndToEnd: a server that answers 429 with
+// Retry-After twice and then 200 costs exactly two recorded sleeps of
+// the advertised length, three requests, and a final 200.
+func TestGetHonorsRetryAfterEndToEnd(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	p, slept := fakePolicy(time.Unix(1754650000, 0))
+	resp, err := p.get(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final status %d, want 200", resp.StatusCode)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", hits.Load())
+	}
+	want := []time.Duration{7 * time.Second, 7 * time.Second}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("recorded sleeps %v, want %v", *slept, want)
+	}
+}
+
+// TestGetNonRetryableNoSleep: a terminal status comes straight back —
+// no sleeps, one request — because retrying a 404 cannot help.
+func TestGetNonRetryableNoSleep(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	p, slept := fakePolicy(time.Unix(1754650000, 0))
+	resp, err := p.get(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || hits.Load() != 1 || len(*slept) != 0 {
+		t.Fatalf("status=%d hits=%d sleeps=%v, want one un-retried 404",
+			resp.StatusCode, hits.Load(), *slept)
+	}
+}
+
+// TestGetAttemptBudget: a permanently-503 server exhausts the budget —
+// attempts sleeps, attempts+1 requests — and the last 503 is returned
+// for ordinary error mapping rather than swallowed.
+func TestGetAttemptBudget(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	p, slept := fakePolicy(time.Unix(1754650000, 0))
+	p.attempts = 2
+	resp, err := p.get(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("final status %d, want the last 503", resp.StatusCode)
+	}
+	if hits.Load() != 3 || len(*slept) != 2 {
+		t.Fatalf("hits=%d sleeps=%v, want 3 requests and 2 waits", hits.Load(), *slept)
+	}
+}

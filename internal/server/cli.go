@@ -17,6 +17,7 @@ import (
 
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/methods"
+	"seprivgemb/internal/replica"
 	"seprivgemb/internal/service"
 )
 
@@ -36,6 +37,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		tenantJobs  = fs.Int("tenant-inflight", 0, "max unfinished jobs per tenant; excess submissions get 429 (0 = unlimited)")
 		memoMax     = fs.Int("memo-max-results", 1024, "max memoized results before LRU eviction (0 = unbounded)")
 		memoTTL     = fs.Duration("memo-ttl", time.Hour, "expire memoized results this long after last use (0 = never)")
+		replicaID   = fs.String("replica-id", "", "join the replica set sharing -artifact-dir under this identity: job ownership is leased through the store, and results land once per set")
+		leaseTTL    = fs.Duration("lease-ttl", replica.DefaultTTL, "job-ownership lease lifetime; a crashed owner's lease expires after this and a peer takes the job over")
 		selftest    = fs.Bool("selftest", false, "serve on a random port, drive one tiny job through the HTTP API, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -47,6 +50,18 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		TenantInflight: *tenantJobs,
 		GraphDir:       *graphDir,
 		ArtifactDir:    *artifactDir,
+	}
+	if *replicaID != "" {
+		if *artifactDir == "" {
+			fmt.Fprintln(stderr, "seprivd: -replica-id requires -artifact-dir (the shared store is the lease substrate)")
+			return 2
+		}
+		mgr, err := replica.NewManager(*artifactDir, *replicaID, *leaseTTL)
+		if err != nil {
+			fmt.Fprintf(stderr, "seprivd: %v\n", err)
+			return 1
+		}
+		opts.Replica = mgr
 	}
 	if *selftest {
 		*addr = "127.0.0.1:0"
@@ -61,6 +76,10 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "seprivd: listening on http://%s\n", ln.Addr())
 	fmt.Fprintf(stdout, "seprivd: methods: %s (default %s)\n",
 		strings.Join(methods.Names(), ", "), methods.Default)
+	if opts.Replica != nil {
+		fmt.Fprintf(stdout, "seprivd: replica %q in the set sharing %s (lease TTL %v)\n",
+			*replicaID, *artifactDir, *leaseTTL)
+	}
 	httpSrv := &http.Server{Handler: New(svc).Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -408,8 +427,12 @@ func float64sEqual(a, b []float64) bool {
 	return true
 }
 
+// getJSON fetches url and decodes the wantCode body into v. Retryable
+// statuses (429/503) are waited out per the server's Retry-After hint —
+// see backoff.go — so `sepriv fetch` and `sepriv sweep -watch` poll
+// politely through quota pushback and drains.
 func getJSON(client *http.Client, url string, wantCode int, v any) error {
-	resp, err := client.Get(url)
+	resp, err := defaultRetryPolicy().get(client, url)
 	if err != nil {
 		return err
 	}

@@ -119,9 +119,10 @@ func fetchJSON(addr, jobID, rows string, out io.Writer) error {
 
 // getRaw fetches url, validates the 200 body by decoding it into v, and
 // returns the raw bytes — the pass-through that keeps -json output
-// byte-identical to the server's encoding.
+// byte-identical to the server's encoding. Like getJSON it rides the
+// Retry-After backoff policy through 429/503 pushback.
 func getRaw(client *http.Client, url string, v any) ([]byte, error) {
-	resp, err := client.Get(url)
+	resp, err := defaultRetryPolicy().get(client, url)
 	if err != nil {
 		return nil, err
 	}

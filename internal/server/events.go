@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"seprivgemb/internal/service"
+	"seprivgemb/internal/spec"
+	"seprivgemb/internal/stream"
+)
+
+// This file serves GET /v1/jobs/{id}/events: a job's live progress as
+// Server-Sent Events. Two regimes:
+//
+//   - The job is known locally (submitted to this replica, owner or
+//     follower): subscribe to the service's event broker. The stream
+//     replays the latest epoch event, then follows training live, and
+//     ends with exactly one terminal event (done/failed/canceled).
+//   - The job is unknown locally but a shared artifact store is
+//     configured (a peer replica owns it): poll the store until the
+//     owner's artifact lands, then emit the terminal done event with the
+//     embedding hash. Keep-alive comments hold the connection open
+//     through proxies while polling. If the job is submitted to this
+//     replica mid-poll, the handler upgrades to the live subscription.
+//
+// Either way the client contract is identical: zero or more "epoch"
+// events, then one terminal event, then EOF.
+
+const (
+	// defaultEventPoll is the store re-check cadence for jobs owned by a
+	// peer when no replica manager (whose TTL-derived PollInterval
+	// otherwise governs) is configured.
+	defaultEventPoll = 250 * time.Millisecond
+	// keepAliveEvery paces SSE comment lines during quiet stretches, so
+	// idle-timeout proxies don't sever a stream mid-training.
+	keepAliveEvery = 15 * time.Second
+)
+
+// eventPoll returns the remote-job store poll cadence.
+func (s *Server) eventPoll() time.Duration {
+	if m := s.svc.ReplicaManager(); m != nil {
+		return m.PollInterval()
+	}
+	return defaultEventPoll
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	_, local := s.svc.JobByID(id)
+	if !local {
+		// A malformed ID can never name a job anywhere in the set; 404 it
+		// rather than polling for a thing that cannot exist. A well-formed
+		// unknown ID is only streamable when a shared store could deliver
+		// a peer's result.
+		if !service.ValidJobID(id) || !s.svc.HasStore() {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+			return
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	if local {
+		s.streamLocal(w, fl, r, id)
+		return
+	}
+	s.streamRemote(w, fl, r, id)
+}
+
+// streamLocal follows a locally-known job through the service's broker
+// until its terminal event, the client hangs up, or the server drains.
+func (s *Server) streamLocal(w http.ResponseWriter, fl http.Flusher, r *http.Request, id string) {
+	ch, cancel := s.svc.Subscribe(id)
+	defer cancel()
+	keep := time.NewTicker(keepAliveEvery)
+	defer keep.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if stream.WriteEvent(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+			if ev.Terminal() {
+				return
+			}
+		case <-keep.C:
+			if stream.WriteComment(w, "ping") != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// streamRemote polls the shared store for a job owned elsewhere in the
+// replica set, emitting the terminal event once the owner's artifact
+// lands. Progress events are the owner's to stream; a follower replica
+// honestly reports only the outcome.
+func (s *Server) streamRemote(w http.ResponseWriter, fl http.Flusher, r *http.Request, id string) {
+	poll := time.NewTicker(s.eventPoll())
+	defer poll.Stop()
+	keep := time.NewTicker(keepAliveEvery)
+	defer keep.Stop()
+	for {
+		if meta, ok := s.svc.ArtifactMeta(id); ok {
+			ev := spec.JobEvent{Type: "done", Job: id, Status: "done"}
+			if meta.EmbeddingHash != 0 {
+				ev.EmbeddingHash = fmt.Sprintf("%016x", meta.EmbeddingHash)
+			}
+			if stream.WriteEvent(w, ev) == nil {
+				fl.Flush()
+			}
+			return
+		}
+		// The job may have been submitted to THIS replica since the poll
+		// started; hand over to the live stream if so.
+		if _, ok := s.svc.JobByID(id); ok {
+			s.streamLocal(w, fl, r, id)
+			return
+		}
+		select {
+		case <-poll.C:
+		case <-keep.C:
+			if stream.WriteComment(w, "ping") != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

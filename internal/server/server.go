@@ -8,10 +8,16 @@
 //
 // Routes (all JSON):
 //
-//	GET    /v1/healthz          liveness
+//	GET    /v1/healthz          liveness; replica identity + held leases
+//	                            in replica mode
 //	GET    /v1/methods          the trainer registry: every submittable method
 //	POST   /v1/jobs             submit a JobSpec → 202 {id, status, ...}
 //	GET    /v1/jobs/{id}        job status + live progress
+//	GET    /v1/jobs/{id}/events live progress stream (Server-Sent Events):
+//	                            "epoch" events then one terminal
+//	                            done/failed/canceled event; on a replica
+//	                            that does not own the job, the store is
+//	                            polled and only the terminal event streams
 //	GET    /v1/jobs/{id}/result result metadata + optionally embedding rows
 //	                            (409 until done; see "Result serving")
 //	GET    /v1/jobs/{id}/result/rows/{lo}-{hi}
@@ -34,6 +40,14 @@
 // covers the FULL matrix regardless of the window served, so any page
 // can be verified against it. The legacy ?embedding=true|1 is kept as an
 // alias for full.
+//
+// Replica serving: with a shared artifact store, a job ID this instance
+// never saw submitted — a peer replica's job — still answers on the
+// status, result, row-window, and events routes once its artifact lands:
+// the store is globbed by ID, the deduplication key is reconstructed and
+// re-verified from the artifact header, and rows decode through the same
+// indexed window machinery as local jobs. "Unknown job" therefore means
+// unknown to the whole set, not just this process.
 //
 // Error mapping: malformed or unresolvable specs → 400, unknown job IDs
 // or malformed row windows → 400/404, result-before-done → 409, tenant
@@ -79,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/methods", s.methods)
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	mux.HandleFunc("GET /v1/jobs/{id}/result/rows/{window}", s.resultRows)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
@@ -121,8 +136,19 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorResponse{Error: msg})
 }
 
+// healthz answers liveness. In replica mode the body also carries the
+// instance's identity and the leases it currently holds — which jobs it
+// is training on behalf of the set — so an operator can map work to
+// replicas with one GET per instance. Single-instance deployments see
+// the bare {"status":"ok"} they always did (the replica fields omit
+// when empty).
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := spec.HealthzResponse{Status: "ok"}
+	if m := s.svc.ReplicaManager(); m != nil {
+		resp.Replica = m.ID()
+		resp.Leases = m.Held()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // methods serves the trainer registry listing: which method names a spec
@@ -153,20 +179,7 @@ func jobView(j *service.Job) jobResponse {
 		Timing:   timingView(j),
 	}
 	if st, ok := j.Progress(); ok {
-		ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
-		resp.Progress = &progressInfo{
-			Epoch:      st.Epoch,
-			Loss:       st.Loss,
-			EpsSpent:   st.EpsSpent,
-			DeltaSpent: st.DeltaSpent,
-			ElapsedMs:  st.Elapsed.Milliseconds(),
-			Stages: &spec.StageInfo{
-				SubgraphsMs: ms(st.Stages.Subgraphs),
-				GradientsMs: ms(st.Stages.Gradients),
-				ReduceMs:    ms(st.Stages.Reduce),
-				UpdateMs:    ms(st.Stages.Update),
-			},
-		}
+		resp.Progress = spec.ProgressFrom(st)
 	}
 	return resp
 }
@@ -249,11 +262,16 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*service.Job, b
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(w, r)
-	if !ok {
+	id := r.PathValue("id")
+	if j, ok := s.svc.JobByID(id); ok {
+		writeJSON(w, http.StatusOK, jobView(j))
 		return
 	}
-	writeJSON(w, http.StatusOK, jobView(j))
+	if meta, ok := s.svc.ArtifactMeta(id); ok {
+		writeJSON(w, http.StatusOK, remoteJobView(meta))
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
 }
 
 // finishedResult resolves {id} to a job that has finished with a result,
@@ -419,6 +437,10 @@ func (s *Server) window(w http.ResponseWriter, j *service.Job, lo, hi int) (*cor
 }
 
 func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	if meta, ok := s.peerArtifact(r.PathValue("id")); ok {
+		s.resultRemote(w, r, meta)
+		return
+	}
 	j, res, ok := s.finishedResult(w, r)
 	if !ok {
 		return
@@ -455,6 +477,10 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 // row-window form of the result API, returning rows [lo, hi) with the
 // usual metadata and the full-matrix embeddingHash.
 func (s *Server) resultRows(w http.ResponseWriter, r *http.Request) {
+	if meta, ok := s.peerArtifact(r.PathValue("id")); ok {
+		s.resultRowsRemote(w, r, meta)
+		return
+	}
 	j, res, ok := s.finishedResult(w, r)
 	if !ok {
 		return

@@ -41,7 +41,9 @@ import (
 	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/methods"
 	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/replica"
 	"seprivgemb/internal/spec"
+	"seprivgemb/internal/stream"
 )
 
 // ErrQuotaExceeded reports a submission rejected because its tenant is at
@@ -91,6 +93,15 @@ type Options struct {
 	// result as a gob artifact (chunked checkpoint framing) and serves
 	// identical future submissions from disk across process restarts.
 	ArtifactDir string
+	// Replica, when non-nil, makes this service one member of a
+	// shared-nothing replica set over ArtifactDir (which must then be
+	// set): before training a job, the service leases its ownership
+	// through the manager, trains only when it wins, and otherwise
+	// follows — polling the shared store until the owner's artifact
+	// lands (or the owner's lease expires, at which point it contends
+	// for takeover). Every replica serves any job's rows straight off
+	// the shared store, owner or not.
+	Replica *replica.Manager
 }
 
 // Status is a Job's lifecycle state.
@@ -132,6 +143,10 @@ func (s Status) String() string {
 type Service struct {
 	opts  Options
 	store *Store
+	// lease is the replica-set ownership manager (nil outside replica
+	// mode); events fans per-job progress out to SSE subscribers.
+	lease  *replica.Manager
+	events *stream.Broker
 
 	mu      sync.Mutex
 	free    int        // unclaimed worker slots (of opts.MaxWorkers)
@@ -174,12 +189,24 @@ func New(opts Options) *Service {
 		tenants: make(map[string]int),
 		sweeps:  make(map[string]*Sweep),
 	}
+	s.events = stream.NewBroker()
 	if opts.ArtifactDir != "" {
 		store, err := NewStore(opts.ArtifactDir)
 		if err != nil {
 			panic(fmt.Sprintf("service: artifact store: %v", err))
 		}
 		s.store = store
+		// Startup janitor: clear expired leases (takeover hygiene — a
+		// replica restarting after a crash must not be blocked by its own
+		// corpse) and crashed writers' tmp partials. Best effort; a
+		// read-only directory degrades to no sweeping, not no serving.
+		_, _, _ = store.Sweep(startupSweepAge)
+	}
+	if opts.Replica != nil {
+		if s.store == nil {
+			panic("service: Options.Replica requires ArtifactDir (the lease substrate is the shared store)")
+		}
+		s.lease = opts.Replica
 	}
 	return s
 }
@@ -499,6 +526,16 @@ func (s *Service) JobByID(id string) (*Job, bool) {
 func (s *Service) ResultRows(id string, lo, hi int) (*core.EmbeddingWindow, error) {
 	j, ok := s.JobByID(id)
 	if !ok {
+		// Not our job — but in a replica set it may be a peer's, and a
+		// completed peer job's artifact sits in the shared store under
+		// this very ID. Serving it straight off disk is what lets a
+		// client fetch rows from ANY replica, not just the one that
+		// happened to train.
+		if s.store != nil {
+			if w, err := s.store.LoadRowsByID(id, lo, hi); err == nil {
+				return w, nil
+			}
+		}
 		return nil, fmt.Errorf("service: unknown job %q", id)
 	}
 	select {
@@ -734,6 +771,11 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 	// The finish stamp lands before done closes (defers run LIFO), so a
 	// waiter woken by Done always observes a non-zero finishedAt.
 	defer func() { j.finishedAt.Store(time.Now().UnixNano()) }()
+	// The terminal stream event is published first of all the defers:
+	// every exit path below has stored its terminal status by the time it
+	// returns, and SSE subscribers must see the event no matter which
+	// path ended the job.
+	defer s.publishTerminal(j)
 	n := s.slotsFor(cfg)
 	if err := s.acquire(ctx, j, n); err != nil {
 		// Canceled while queued: no training happened, so there is no
@@ -780,21 +822,7 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 	// while this job is parked behind another service's identical run on
 	// a shared Memo.
 	res, err := s.opts.Memo.ResultFor(ctx, j.key, func() (*core.Result, error) {
-		if s.store != nil {
-			if cached, ok := s.store.Load(j.key); ok {
-				return cached, nil
-			}
-		}
-		s.trainings.Add(1)
-		res, err := tr.Train(ctx, g, prox, cfg, core.Hooks{
-			Epoch: func(st core.EpochStats) { j.stats.Store(st) },
-		})
-		if err == nil && res.Stopped != core.StopCanceled && s.store != nil {
-			// Best-effort persistence: a failed write degrades restart
-			// warmth, never the in-flight response.
-			_ = s.store.Save(j.key, res)
-		}
-		return res, err
+		return s.trainOrFollow(ctx, j, tr, g, prox, cfg)
 	})
 	j.res, j.err = res, err
 	switch {
@@ -813,3 +841,123 @@ func (s *Service) run(ctx context.Context, j *Job, g *graph.Graph, prox proximit
 		j.status.Store(int32(StatusDone))
 	}
 }
+
+// trainOrFollow produces the job's result under the replica-set ownership
+// protocol. Without a lease manager it trains directly (the single-
+// instance path, store-cached as before). With one, the loop per
+// iteration: serve the artifact if a peer already landed it; try to
+// acquire the job's lease and train if this replica wins (heartbeating
+// for the duration, persisting the artifact BEFORE releasing so no peer
+// can observe a gap between "lease gone" and "result present"); otherwise
+// follow — sleep a poll interval and re-check. A crashed owner stops
+// heartbeating, its lease expires, and the next iteration's Acquire takes
+// the job over, which is what makes every submitted spec eventually train
+// exactly once on exactly one live replica.
+func (s *Service) trainOrFollow(ctx context.Context, j *Job, tr methods.Trainer, g *graph.Graph, prox proximity.Proximity, cfg core.Config) (*core.Result, error) {
+	for {
+		if s.store != nil {
+			if cached, ok := s.store.Load(j.key); ok {
+				return cached, nil
+			}
+		}
+		if s.lease == nil {
+			return s.train(ctx, j, tr, g, prox, cfg)
+		}
+		owned, err := s.lease.Acquire(j.id)
+		if err == nil && owned {
+			stop := s.lease.KeepAlive(j.id)
+			res, terr := s.train(ctx, j, tr, g, prox, cfg)
+			// train persists the artifact before returning, so the
+			// release below never exposes a trained-but-unpublished job.
+			stop()
+			s.lease.Release(j.id)
+			return res, terr
+		}
+		// Follower: a peer owns the job (or the lease directory hiccuped
+		// — an I/O error is retried on the same cadence rather than
+		// failing a job a peer may be happily training).
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(s.lease.PollInterval()):
+		}
+	}
+}
+
+// train runs the actual training, publishing per-epoch progress to both
+// the polled job view and the event stream, and persists completed
+// results to the store before returning.
+func (s *Service) train(ctx context.Context, j *Job, tr methods.Trainer, g *graph.Graph, prox proximity.Proximity, cfg core.Config) (*core.Result, error) {
+	s.trainings.Add(1)
+	res, err := tr.Train(ctx, g, prox, cfg, core.Hooks{
+		Epoch: func(st core.EpochStats) {
+			j.stats.Store(st)
+			s.events.Publish(j.id, spec.JobEvent{Type: "epoch", Progress: spec.ProgressFrom(st)})
+		},
+	})
+	if err == nil && res.Stopped != core.StopCanceled && s.store != nil {
+		// Best-effort persistence: a failed write degrades restart
+		// warmth, never the in-flight response.
+		_ = s.store.Save(j.key, res)
+	}
+	return res, err
+}
+
+// publishTerminal emits the job's exactly-once terminal stream event,
+// mirroring the terminal status the polled view reports. Done events
+// carry the full-embedding digest so a streaming client can hand off to
+// the row-window API and verify pages without another round trip.
+func (s *Service) publishTerminal(j *Job) {
+	ev := spec.JobEvent{Status: j.Status().String()}
+	switch j.Status() {
+	case StatusDone:
+		ev.Type = "done"
+		if j.res != nil && j.res.Model != nil {
+			ev.EmbeddingHash = fmt.Sprintf("%016x", mathx.DigestFloat64s(j.res.Model.Win.Data))
+		}
+	case StatusFailed:
+		ev.Type = "failed"
+		if j.err != nil {
+			ev.Error = j.err.Error()
+		}
+	case StatusCanceled:
+		ev.Type = "canceled"
+		if j.err != nil {
+			ev.Error = j.err.Error()
+		}
+	default:
+		// Not terminal (unreachable from run's exit paths); publish
+		// nothing rather than a lying event.
+		return
+	}
+	s.events.Publish(j.id, ev)
+}
+
+// Subscribe returns the live event stream of a job by ID: a replay of the
+// latest epoch event (if any), then events as they happen, ending with
+// the terminal event, after which the channel closes. Always call the
+// cancel function. Subscribing to an ID this process has never seen
+// yields a stream that emits nothing until such a job is submitted — the
+// HTTP layer pairs this with the store-polling path for jobs owned
+// elsewhere in a replica set.
+func (s *Service) Subscribe(jobID string) (<-chan spec.JobEvent, func()) {
+	return s.events.Subscribe(jobID)
+}
+
+// ArtifactMeta returns the persisted result metadata for a job ID served
+// from the shared artifact store — the replica-set path for jobs this
+// process never ran. False without a store or a matching artifact.
+func (s *Service) ArtifactMeta(id string) (*ArtifactMeta, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	return s.store.MetaByID(id)
+}
+
+// HasStore reports whether this service persists and serves artifacts.
+func (s *Service) HasStore() bool { return s.store != nil }
+
+// ReplicaManager returns the replica-set lease manager, nil outside
+// replica mode — the health endpoint reports its identity and held
+// leases.
+func (s *Service) ReplicaManager() *replica.Manager { return s.lease }

@@ -1,0 +1,226 @@
+// Package stream is the live progress transport of the serving layer: a
+// per-job event broker fed by the trainer's EpochHook, and the
+// Server-Sent Events encoding that carries those events over HTTP
+// (GET /v1/jobs/{id}/events). The broker is deliberately lossy for
+// progress and lossless for outcomes: a slow subscriber may miss epoch
+// events (each carries cumulative stats, so the latest supersedes the
+// missed), but every stream replays the most recent epoch event on
+// subscribe and is guaranteed to end with exactly one terminal event —
+// the only event a correct client must not miss.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"seprivgemb/internal/spec"
+)
+
+// subBuffer is each subscriber's channel depth. Epoch events are small
+// and cumulative; 32 outstanding before drop-oldest kicks in is far more
+// than an HTTP writer ever queues.
+const subBuffer = 32
+
+// Broker fans per-job events out to subscribers. The zero value is not
+// usable; construct with NewBroker. Safe for concurrent use.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]*topic
+}
+
+type topic struct {
+	seq      int
+	nextSub  int
+	subs     map[int]chan spec.JobEvent
+	last     *spec.JobEvent // latest epoch event, replayed to new subscribers
+	terminal *spec.JobEvent // set once; retained for late subscribers
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: make(map[string]*topic)}
+}
+
+func (b *Broker) topicFor(job string) *topic {
+	t, ok := b.topics[job]
+	if !ok {
+		t = &topic{subs: make(map[int]chan spec.JobEvent)}
+		b.topics[job] = t
+	}
+	return t
+}
+
+// Publish delivers ev to every subscriber of job, stamping Job and Seq
+// (events number from 0 per job, in publish order). A terminal event
+// closes all subscriber channels and is retained: late subscribers get it
+// immediately. Events published after a terminal are dropped — a job ends
+// once. Publish never blocks: a subscriber that stopped draining has its
+// oldest buffered event dropped instead.
+func (b *Broker) Publish(job string, ev spec.JobEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.topicFor(job)
+	if t.terminal != nil {
+		return
+	}
+	ev.Job = job
+	ev.Seq = t.seq
+	t.seq++
+	if ev.Terminal() {
+		t.terminal = &ev
+	} else {
+		cp := ev
+		t.last = &cp
+	}
+	for _, ch := range t.subs {
+		send(ch, ev)
+		if ev.Terminal() {
+			close(ch)
+		}
+	}
+	if ev.Terminal() {
+		t.subs = make(map[int]chan spec.JobEvent)
+	}
+}
+
+// send enqueues without blocking, dropping the subscriber's oldest
+// buffered event if its channel is full. The final fallthrough (buffer
+// refilled between our drop and retry) can only drop ev itself if another
+// publisher raced in — impossible under the broker mutex.
+func send(ch chan spec.JobEvent, ev spec.JobEvent) {
+	select {
+	case ch <- ev:
+		return
+	default:
+	}
+	select {
+	case <-ch:
+	default:
+	}
+	select {
+	case ch <- ev:
+	default:
+	}
+}
+
+// Subscribe returns a channel of job's events and a cancel function
+// (idempotent; always call it). The channel first replays the latest
+// epoch event, if any — so a late subscriber immediately knows where
+// training stands — and is closed after the terminal event. Subscribing
+// to an already-finished job yields its terminal event (preceded by the
+// last epoch event) and an immediately-closed channel.
+func (b *Broker) Subscribe(job string) (<-chan spec.JobEvent, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.topicFor(job)
+	ch := make(chan spec.JobEvent, subBuffer)
+	if t.last != nil {
+		ch <- *t.last
+	}
+	if t.terminal != nil {
+		ch <- *t.terminal
+		close(ch)
+		return ch, func() {}
+	}
+	id := t.nextSub
+	t.nextSub++
+	t.subs[id] = ch
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := t.subs[id]; ok {
+				delete(t.subs, id)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Terminal returns job's terminal event if it has one.
+func (b *Broker) Terminal(job string) (spec.JobEvent, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t, ok := b.topics[job]
+	if !ok || t.terminal == nil {
+		return spec.JobEvent{}, false
+	}
+	return *t.terminal, true
+}
+
+// WriteEvent encodes one event in SSE wire form: the event name, the
+// per-job sequence number as the SSE id (so reconnecting clients can spot
+// gaps), and the spec.JobEvent JSON as the data line, terminated by the
+// blank line that dispatches it.
+func WriteEvent(w io.Writer, ev spec.JobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	return err
+}
+
+// WriteComment emits an SSE comment line — the keep-alive that holds
+// proxies open while a non-owner replica polls the store for a terminal
+// event.
+func WriteComment(w io.Writer, text string) error {
+	_, err := fmt.Fprintf(w, ": %s\n\n", text)
+	return err
+}
+
+// ReadEvents decodes an SSE stream, invoking fn for each event; fn
+// returns false to stop reading early. Comment and id lines are skipped
+// (Seq travels inside the JSON payload); the event name must match the
+// payload's Type, which pins the two encodings together. Returns nil on
+// EOF or early stop.
+func ReadEvents(r io.Reader, fn func(spec.JobEvent) bool) error {
+	sc := bufio.NewScanner(r)
+	var name, data string
+	dispatch := func() (bool, error) {
+		if data == "" {
+			return true, nil
+		}
+		var ev spec.JobEvent
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return false, fmt.Errorf("stream: bad event payload %q: %w", data, err)
+		}
+		if name != "" && name != ev.Type {
+			return false, fmt.Errorf("stream: SSE event name %q disagrees with payload type %q", name, ev.Type)
+		}
+		name, data = "", ""
+		return fn(ev), nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			ok, err := dispatch()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// A final event unterminated by a blank line still counts (EOF ends
+	// the stream as definitively as a dispatch line).
+	_, err := dispatch()
+	return err
+}

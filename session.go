@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/methods"
+	"seprivgemb/internal/replica"
 	"seprivgemb/internal/service"
 	"seprivgemb/internal/spec"
 )
@@ -88,7 +90,29 @@ type (
 	SweepResult = spec.SweepResultResponse
 	// SweepTable is the aggregated comparison table of a completed sweep.
 	SweepTable = spec.SweepTable
+	// ReplicaManager leases job ownership through atomic lease files in
+	// a shared artifact directory, making N Services over one directory a
+	// replica set: each spec trains exactly once set-wide, every member
+	// serves the result (DESIGN.md §14). Construct with NewReplicaManager
+	// and pass via ServiceOptions.Replica.
+	ReplicaManager = replica.Manager
+	// JobEvent is one frame of a job's event stream — epoch progress or
+	// the terminal outcome — as served over SSE by GET /v1/jobs/{id}/events.
+	JobEvent = spec.JobEvent
 )
+
+// DefaultLeaseTTL is the replica lease lifetime when none is chosen: a
+// crashed owner's jobs become reacquirable this long after its last
+// heartbeat.
+const DefaultLeaseTTL = replica.DefaultTTL
+
+// NewReplicaManager joins the replica set coordinating over dir under the
+// given identity. TTL ≤ 0 takes DefaultLeaseTTL. Pass the manager in
+// ServiceOptions.Replica together with ArtifactDir — the lease substrate
+// IS the shared store.
+func NewReplicaManager(dir, id string, ttl time.Duration) (*ReplicaManager, error) {
+	return replica.NewManager(dir, id, ttl)
+}
 
 // DefaultMethod is the training method selected when none is named:
 // "sepriv", the paper's own algorithm.
