@@ -14,7 +14,7 @@ BENCH_PAT ?= ApplyUpdate|GenerateSubgraphs|ProximityMaterialize|TrainWorkers|Str
 # Per-target fuzz budget for fuzz-kernels (Go's -fuzztime syntax).
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fmt-check bench bench-json bench-diff fuzz-kernels serve-smoke loadtest loadtest-smoke verify
+.PHONY: build test vet race fmt-check md-check bench bench-json bench-diff fuzz-kernels serve-smoke loadtest loadtest-smoke verify
 
 build:
 	$(GO) build ./...
@@ -25,11 +25,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Fail on any file gofmt would rewrite (the CI hygiene gate).
+# Fail on any file gofmt would rewrite (the CI hygiene gate). The
+# examples/ tree is gated explicitly — it holds runnable walkthroughs
+# that readers copy verbatim, so drift there is doc drift.
 fmt-check:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	@out=$$(gofmt -l . && gofmt -l examples); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out" | sort -u; exit 1; \
 	fi
+
+# Markdown hygiene: link-check README/DESIGN/ROADMAP (and examples/) and
+# fail on dangling heading anchors — DESIGN.md is 15 cross-referenced
+# sections now, so a renamed heading must break CI, not a reader.
+md-check:
+	$(GO) run ./scripts/mdcheck .
 
 # Race-detect the concurrent paths (the parallel training engine and the
 # experiments sweep runner live under internal/).
@@ -85,4 +93,4 @@ loadtest-smoke:
 
 # Tier-1 verification in one command — the same gate
 # .github/workflows/ci.yml runs on every push/PR.
-verify: build fmt-check vet test race serve-smoke
+verify: build fmt-check md-check vet test race serve-smoke

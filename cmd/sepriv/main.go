@@ -99,6 +99,7 @@ func main() {
 		nonPriv     = flag.Bool("non-private", false, "train the non-private SE-GEmb counterpart")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for the parallel training and evaluation stages (results are seed-deterministic at any count)")
+		memBudget   = flag.String("mem-budget", "", "bound the run's resident weight-state bytes, e.g. 256MiB: rows spill to a temp file and results stay bit-identical (empty = in-memory)")
 		materialize = flag.Bool("materialize", false, "materialize the proximity matrix up front, sharded across -workers (big win for katz/pagerank, whose lazy At recomputes a row per call)")
 		ckptPath    = flag.String("checkpoint", "", "checkpoint file: resumed from when it exists, written on interrupt or completion")
 		progress    = flag.Int("progress", 0, "print loss and privacy spend every N epochs (0 disables)")
@@ -136,6 +137,8 @@ func main() {
 			fail(fmt.Errorf("-naive selects an SE-PrivGEmb perturbation strategy; it does not apply to %s", methodName))
 		case *nonPriv:
 			fail(fmt.Errorf("%s has no non-private variant; drop -non-private", methodName))
+		case *memBudget != "":
+			fail(fmt.Errorf("-mem-budget selects the out-of-core spill tier, which only the default %q method supports", seprivgemb.DefaultMethod))
 		}
 	}
 
@@ -163,6 +166,13 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Workers = *workers
 	cfg.Private = !*nonPriv
+	if *memBudget != "" {
+		b, err := server.ParseByteSize(*memBudget)
+		if err != nil {
+			fail(fmt.Errorf("-mem-budget: %w", err))
+		}
+		cfg.MemoryBudget = b
+	}
 	if *naive {
 		cfg.Strategy = seprivgemb.StrategyNaive
 	}

@@ -85,6 +85,19 @@
 // ServiceOptions.Replica expose the same mode to the Go API, and
 // examples/replicas is the walkthrough.
 //
+// Training state is bounded too (DESIGN.md §15): by default a run holds
+// its two |V|×r weight matrices in memory, but WithMemoryBudget (or
+// Config.MemoryBudget, the wire field memoryBudget, `sepriv -mem-budget`)
+// caps their resident bytes — rows spill to a file-backed tier and only
+// an LRU window of 64 KiB chunks stays resident, so a million-node graph
+// trains in tens of MiB instead of the dense 2·|V|·r·8. The budget is an
+// execution knob exactly like Workers: results are bit-identical at every
+// budget, budgets never enter job identity, and checkpoints resume across
+// differing budgets. Servers cap per-job footprints with
+// ServiceOptions.MaxTrainingBytes (`seprivd -max-train-mem`); the README
+// "Capacity planning" section works the arithmetic. examples/outofcore is
+// the walkthrough.
+//
 // Training is deterministic in cfg.Seed and, with cfg.Workers > 1, runs
 // subgraph generation, the per-epoch gradient stage AND the DP noise/update
 // stage on goroutine pools that preserve bit-identical results at every

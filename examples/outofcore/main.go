@@ -1,0 +1,96 @@
+// Out-of-core training walkthrough (DESIGN.md §15): a 2^20-node graph
+// whose dense training state would be 512 MiB (two 2^20×32 float64
+// matrices) trains under a 256 MiB MemoryBudget — weight rows live in a
+// file-backed spill tier and only an LRU window stays resident — and the
+// result is bit-identical to the unbudgeted in-memory run. The budget is
+// an execution knob like Workers: it changes where the matrices live,
+// never what they contain.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"seprivgemb"
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/xrand"
+)
+
+func main() {
+	// 1. A synthetic million-node graph (2^20 nodes, preferential
+	//    attachment). Real edge lists load the same way via
+	//    seprivgemb.LoadGraph.
+	const nodes = 1 << 20
+	g := graph.BarabasiAlbert(nodes, 2, xrand.New(7))
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	prox, err := seprivgemb.NewProximity("degree", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Small-dimension, short-epoch settings keep the demo quick; the
+	// memory arithmetic is what matters here. See the README "Capacity
+	// planning" section for the budget formula at r=128 and beyond.
+	cfg := seprivgemb.DefaultConfig()
+	cfg.Dim = 32
+	cfg.K = 2
+	cfg.BatchSize = 32
+	cfg.MaxEpochs = 3
+	cfg.Seed = 42
+
+	dense := cfg.DenseStateBytes(g.NumNodes())
+	const budget = 256 << 20
+	fmt.Printf("dense training state: %d MiB; budget: %d MiB (min admissible %d MiB)\n",
+		dense>>20, budget>>20, cfg.MinMemoryBudget(g.NumNodes())>>20)
+
+	// 2. The unbudgeted in-memory run — the reference result.
+	inMem, err := seprivgemb.NewSession(g, prox,
+		seprivgemb.WithConfig(cfg),
+		seprivgemb.WithWorkers(4),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := mathx.DigestMat(inMem.Model.Win)
+	fmt.Printf("in-memory run:  %d epochs, embedding hash %016x\n", inMem.Epochs, want)
+
+	// 3. The same run under the budget: WithMemoryBudget moves Win/Wout
+	//    onto the spill tier. Everything else — seed, noise, schedule —
+	//    is untouched.
+	spilled, err := seprivgemb.NewSession(g, prox,
+		seprivgemb.WithConfig(cfg),
+		seprivgemb.WithWorkers(4),
+		seprivgemb.WithMemoryBudget(budget),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := mathx.DigestMat(spilled.Model.Win)
+	fmt.Printf("budgeted run:   %d epochs, embedding hash %016x\n", spilled.Epochs, got)
+	if got != want {
+		log.Fatal("budgeted run diverged from the in-memory run")
+	}
+	fmt.Println("hashes match: the budget changed residency, not results")
+
+	// 4. What the budget actually bought: the high-water resident bytes of
+	//    each spilled matrix, versus its dense size.
+	win := spilled.Model.Win.(*mathx.SpillMatrix)
+	wout := spilled.Model.Wout.(*mathx.SpillMatrix)
+	fmt.Printf("Win  high-water residency: %5.1f MiB of %d MiB dense\n",
+		float64(win.MaxResidentBytes())/(1<<20), dense/2>>20)
+	fmt.Printf("Wout high-water residency: %5.1f MiB of %d MiB dense\n",
+		float64(wout.MaxResidentBytes())/(1<<20), dense/2>>20)
+
+	// 5. Reading results without densifying: Result.Rows serves a row
+	//    window straight off the spill tier at O(window·r) memory
+	//    (Result.Embedding() would materialize all 512 MiB).
+	window, err := spilled.Rows(100, 104)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rows [100,104) served from the spill tier: %dx%d window\n",
+		window.Rows, window.Cols)
+}

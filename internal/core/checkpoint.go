@@ -48,9 +48,10 @@ const chunkFloats = 8192
 //
 // A checkpoint is tied to its run: ConfigHash and GraphFingerprint pin the
 // hyperparameters and the exact graph, and TrainContext refuses to resume
-// when either differs. Config.Workers and Config.MaxEpochs are exempt — the
-// first never changes results, and allowing the second to grow is how a
-// finished run is extended.
+// when either differs. Config.Workers, Config.MemoryBudget and
+// Config.MaxEpochs are exempt — the first two never change results (a
+// checkpoint written by an in-memory run resumes under any budget and vice
+// versa), and allowing the third to grow is how a finished run is extended.
 type Checkpoint struct {
 	// Version is the checkpoint format version (checkpointVersion).
 	Version int
@@ -85,10 +86,12 @@ type Checkpoint struct {
 }
 
 // Hash returns a 64-bit FNV-1a digest of every Config field that shapes a
-// run's numeric output. Workers is excluded: by the determinism contract it
-// trades wall-clock time only, never a result bit. Two configs with equal
-// hashes produce bit-identical Results on the same graph and proximity,
-// which is what the service layer's job deduplication keys on.
+// run's numeric output. Workers and MemoryBudget are excluded: by the
+// determinism contract they trade wall-clock time and resident memory
+// only, never a result bit — a spilled run hashes, dedups, and resumes
+// interchangeably with its in-memory twin. Two configs with equal hashes
+// produce bit-identical Results on the same graph and proximity, which is
+// what the service layer's job deduplication keys on.
 func (c Config) Hash() uint64 {
 	h := mathx.NewFNV64()
 	h.Word(uint64(c.Dim))
@@ -128,11 +131,11 @@ func captureCheckpoint(g *graph.Graph, cfg Config, model *skipgram.Model,
 		Version:          checkpointVersion,
 		ConfigHash:       cfg.resumeHash(),
 		GraphFingerprint: g.Fingerprint(),
-		Nodes:            model.Win.Rows,
+		Nodes:            model.Win.NumRows(),
 		Dim:              model.Dim,
 		Epoch:            res.Epochs,
-		Win:              append([]float64(nil), model.Win.Data...),
-		Wout:             append([]float64(nil), model.Wout.Data...),
+		Win:              mathx.CopyOut(model.Win),
+		Wout:             mathx.CopyOut(model.Wout),
 		RNG:              rng.State(),
 		LossHistory:      append([]float64(nil), res.LossHistory...),
 		EpsilonSpent:     res.EpsilonSpent,
@@ -157,7 +160,7 @@ func (ck *Checkpoint) validateFor(g *graph.Graph, cfg Config) error {
 			ck.Version, checkpointVersion)
 	case ck.ConfigHash != cfg.resumeHash():
 		return fmt.Errorf("core: checkpoint was recorded under a different config " +
-			"(only Workers and MaxEpochs may change across a resume)")
+			"(only Workers, MemoryBudget and MaxEpochs may change across a resume)")
 	case ck.GraphFingerprint != g.Fingerprint():
 		return fmt.Errorf("core: checkpoint was recorded on a different graph")
 	case ck.Nodes != g.NumNodes() || ck.Dim != cfg.Dim:

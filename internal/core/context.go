@@ -207,10 +207,31 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 		mathx.Scale(float64(len(weights))/wsum, weights)
 	}
 	stages.Subgraphs = time.Since(start)
-	// Line 3: initialize the weight matrices. A resumed run re-draws the
+	// Line 3: initialize the weight matrices — dense, or spill-backed when
+	// MemoryBudget bounds residency below the dense footprint (DESIGN.md
+	// §15). The budget splits across Win and Wout: each matrix first gets
+	// the floor its per-epoch pin set needs (B center rows vs (K+1)·B
+	// context rows), then half the surplus. A resumed run re-draws the
 	// initialization (keeping the RNG aligned with the original stream) and
 	// then overwrites both matrices and the RNG from the checkpoint.
-	model := skipgram.New(g.NumNodes(), cfg.Dim, rng)
+	var model *skipgram.Model
+	if n := g.NumNodes(); cfg.spillActive(n) {
+		minWin := mathx.MinSpillBudget(n, cfg.Dim, cfg.BatchSize)
+		minWout := mathx.MinSpillBudget(n, cfg.Dim, (cfg.K+1)*cfg.BatchSize)
+		extra := cfg.MemoryBudget - minWin - minWout
+		spillWin, err := mathx.NewSpillMatrix(n, cfg.Dim, minWin+extra/2, "")
+		if err != nil {
+			return nil, fmt.Errorf("core: spill tier for Win: %w", err)
+		}
+		spillWout, err := mathx.NewSpillMatrix(n, cfg.Dim, minWout+extra-extra/2, "")
+		if err != nil {
+			spillWin.Close()
+			return nil, fmt.Errorf("core: spill tier for Wout: %w", err)
+		}
+		model = skipgram.NewWith(spillWin, spillWout, rng)
+	} else {
+		model = skipgram.New(g.NumNodes(), cfg.Dim, rng)
+	}
 
 	var acct *dp.Accountant
 	var noise xrand.Stream
@@ -228,9 +249,15 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 
 	res := &Result{Model: model}
 	startEpoch := 0
+	noiseFloor := 0 // epochs of naive noise the restored matrices carry
 	if ck := hooks.Resume; ck != nil {
-		copy(model.Win.Data, ck.Win)
-		copy(model.Wout.Data, ck.Wout)
+		// Row-wise restore loads the dense checkpoint matrices into
+		// whichever tier THIS run selected — a run may resume under a
+		// smaller (or no) budget than the one that wrote the snapshot,
+		// since the budget is outside the config hash.
+		mathx.CopyIntoMat(model.Win, ck.Win)
+		mathx.CopyIntoMat(model.Wout, ck.Wout)
+		noiseFloor = ck.Epoch
 		rng.Restore(ck.RNG)
 		if cfg.Private {
 			noise = xrand.StreamFromState(ck.Noise)
@@ -257,6 +284,9 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 
 	eng := newEngine(model, subs, weights, cfg, noise)
 	defer eng.close()
+	// A checkpoint is captured only after finalizeNoise, so restored
+	// matrices are fully noised through their epoch — mark that floor.
+	eng.setNoiseFloor(noiseFloor)
 	// An epoch touches at most B distinct Win rows (one center per
 	// example) and (k+1)·B distinct Wout rows; pre-sizing the pools keeps
 	// the accumulators allocation-free on the hot path.
@@ -264,8 +294,12 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 	accOut := newRowAccumulator(cfg.Dim, (cfg.K+1)*cfg.BatchSize)
 
 	// emitCheckpoint snapshots the run at the current epoch boundary,
-	// records it on the Result, and feeds the Checkpoint hook.
+	// records it on the Result, and feeds the Checkpoint hook. Deferred
+	// naive noise is settled first so the captured matrices equal the
+	// eager path's state at this boundary (capture is dense — O(|V|·r) —
+	// even for spilled runs; DESIGN.md §15 records the limitation).
 	emitCheckpoint := func() {
+		eng.finalizeNoise(res.Epochs)
 		res.Checkpoint = captureCheckpoint(g, cfg, model, rng, noise, acct, res)
 		if hooks.Checkpoint != nil {
 			hooks.Checkpoint(res.Checkpoint)
@@ -288,6 +322,12 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 		idx := rng.SampleWithoutReplacement(len(subs), cfg.BatchSize)
 		accIn.reset()
 		accOut.reset()
+		// Spill tier: pin the chunks covering the batch's touched rows for
+		// the whole epoch (so the parallel stages never fault or evict),
+		// then settle any naive noise those rows deferred — BEFORE the
+		// gradient stage reads them.
+		eng.pinEpoch(idx)
+		eng.catchUpEpoch(idx, epoch)
 		// Per-example losses, unscaled gradients and clip factors (the
 		// stage that parallelizes across cfg.Workers)...
 		lossSum := eng.computeStage(idx)
@@ -306,6 +346,7 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 		// sharded across the pool with index-addressed noise.
 		eng.applyUpdate(model.Win, accIn, epoch, matWin)
 		eng.applyUpdate(model.Wout, accOut, epoch, matWout)
+		eng.unpinEpoch()
 		stages.Update += time.Since(stageClock)
 		res.Epochs = epoch + 1
 		res.Stages = stages
@@ -342,6 +383,9 @@ func TrainContext(ctx context.Context, g *graph.Graph, prox proximity.Proximity,
 		}
 	}
 	res.Stages = stages // covers runs whose loop never entered (resume at budget)
+	// Settle all deferred naive noise before the model escapes: the
+	// returned matrices must equal the eager path's bit for bit.
+	eng.finalizeNoise(res.Epochs)
 	// Final snapshot for callers that asked for checkpoints, unless the
 	// periodic cadence already produced one at this exact boundary.
 	if (hooks.CheckpointEvery > 0 || hooks.Checkpoint != nil) &&

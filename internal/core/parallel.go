@@ -100,10 +100,37 @@ type engine struct {
 	// planIn/planOut are the reduce stage's reusable batch-order plans.
 	planIn, planOut []reduceEntry
 
-	// Worker pool (workers > 1).
+	// Worker pool (workers > 1): one channel per worker, so a span routed
+	// to index w always runs on goroutine w — the mechanism behind the
+	// update stage's row ownership (see forOwnerSegments).
 	task func(lo, hi int)
-	jobs chan span
+	jobs []chan span
 	wg   sync.WaitGroup
+
+	// owned is the fixed row-ownership partition of the update stage:
+	// worker w owns the contiguous model row range owned[w] for the life
+	// of the run, so every write to a given weight row happens on one
+	// goroutine. ownedRows caches the row count it was built for.
+	owned     []span
+	ownedRows int
+	// seg is forOwnerSegments' reusable per-owner segment buffer.
+	seg []span
+
+	// Spill tier (Config.MemoryBudget): when the model's matrices are
+	// *mathx.SpillMatrix, each epoch pins the chunks covering its touched
+	// rows before the parallel stages, so no stage ever faults or evicts
+	// concurrently (mathx.SpillMatrix's pin contract).
+	winSpill, woutSpill *mathx.SpillMatrix
+	pinsIn, pinsOut     []int32
+	pinBuf              []int32
+
+	// Lazy naive noise (spill runs under StrategyNaive): instead of the
+	// eager |V|×r noise sweep per epoch, untouched rows defer their noise
+	// and catch up — in epoch order, bit-identically — when next touched
+	// or at finalizeNoise. lastIn/lastOut[r] is the epoch count whose
+	// noise row r has absorbed.
+	lazyNaive       bool
+	lastIn, lastOut []int32
 }
 
 // newEngine builds the engine for one Train call. For workers > 1 it
@@ -125,8 +152,8 @@ func newEngine(model *skipgram.Model, subs []Subgraph, weights []float64, cfg Co
 	// beyond the per-dispatch span count just block on the channel, so the
 	// clamp only avoids spawning goroutines NO stage could use.
 	maxShard := cfg.BatchSize
-	if model != nil && model.Win.Rows > maxShard {
-		maxShard = model.Win.Rows
+	if model != nil && model.Win.NumRows() > maxShard {
+		maxShard = model.Win.NumRows()
 	}
 	if e.workers > maxShard {
 		e.workers = maxShard
@@ -137,10 +164,27 @@ func newEngine(model *skipgram.Model, subs []Subgraph, weights []float64, cfg Co
 	}
 	e.planIn = make([]reduceEntry, 0, cfg.BatchSize)
 	e.planOut = make([]reduceEntry, 0, (cfg.K+1)*cfg.BatchSize)
+	if model != nil {
+		if sw, ok := model.Win.(*mathx.SpillMatrix); ok {
+			e.winSpill = sw
+			e.woutSpill, _ = model.Wout.(*mathx.SpillMatrix)
+		}
+		// The lazy path exists for the spill tier — an eager naive sweep
+		// would fault every chunk of both matrices every epoch — but its
+		// catch-up replay is bit-identical to the eager sweep (see
+		// applyUpdate), so activating it is a residency decision only.
+		e.lazyNaive = e.winSpill != nil && cfg.Private && cfg.Strategy == StrategyNaive
+		if e.lazyNaive {
+			n := model.Win.NumRows()
+			e.lastIn = make([]int32, n)
+			e.lastOut = make([]int32, n)
+		}
+	}
 	if e.workers > 1 {
-		e.jobs = make(chan span)
+		e.jobs = make([]chan span, e.workers)
 		for w := 0; w < e.workers; w++ {
-			go e.workerLoop()
+			e.jobs[w] = make(chan span)
+			go e.workerLoop(w)
 		}
 	}
 	return e
@@ -148,23 +192,45 @@ func newEngine(model *skipgram.Model, subs []Subgraph, weights []float64, cfg Co
 
 // close shuts down the worker pool. It is a no-op for serial engines.
 func (e *engine) close() {
-	if e.jobs != nil {
-		close(e.jobs)
+	for _, ch := range e.jobs {
+		close(ch)
 	}
 }
 
-// workerLoop drains spans, running the engine's current task on each.
-func (e *engine) workerLoop() {
-	for sp := range e.jobs {
+// workerLoop drains worker w's span channel, running the engine's current
+// task on each.
+func (e *engine) workerLoop(w int) {
+	for sp := range e.jobs[w] {
 		e.task(sp.lo, sp.hi)
 		e.wg.Done()
 	}
 }
 
+// dispatch runs task over the given spans, routing spans[i] to worker i —
+// inline and in order when serial. Dispatch is always from the single
+// Train goroutine, so installing e.task before the sends is race-free (the
+// channel send happens-before the worker's read).
+func (e *engine) dispatch(spans []span, task func(lo, hi int)) {
+	if len(spans) == 0 {
+		return
+	}
+	if e.jobs == nil || len(spans) == 1 {
+		for _, sp := range spans {
+			task(sp.lo, sp.hi)
+		}
+		return
+	}
+	e.task = task
+	e.wg.Add(len(spans))
+	for w, sp := range spans {
+		e.jobs[w] <- sp
+	}
+	e.wg.Wait()
+	e.task = nil
+}
+
 // forSpans runs task over [0, n) — inline when serial, sharded into
-// near-equal contiguous spans across the pool otherwise. Dispatch is
-// always from the single Train goroutine, so installing e.task before the
-// sends is race-free (the channel send happens-before the worker's read).
+// near-equal contiguous spans across the pool otherwise.
 func (e *engine) forSpans(n int, task func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -173,14 +239,54 @@ func (e *engine) forSpans(n int, task func(lo, hi int)) {
 		task(0, n)
 		return
 	}
-	spans := splitSpans(n, e.workers)
-	e.task = task
-	e.wg.Add(len(spans))
-	for _, sp := range spans {
-		e.jobs <- sp
+	e.dispatch(splitSpans(n, e.workers), task)
+}
+
+// ownership returns the fixed row-ownership partition for an nRows-row
+// matrix: worker w owns the contiguous range ownership[w]. The partition
+// is the same near-equal splitSpans layout the stages shard by, computed
+// once and cached, so a row's owner never changes over the run.
+func (e *engine) ownership(nRows int) []span {
+	if e.owned == nil || e.ownedRows != nRows {
+		w := e.workers
+		if w < 1 {
+			w = 1 // serial engines own everything on the train goroutine
+		}
+		e.owned = splitSpans(nRows, w)
+		e.ownedRows = nRows
 	}
-	e.wg.Wait()
-	e.task = nil
+	return e.owned
+}
+
+// forOwnerSegments shards the sorted touched-row list by the row-ownership
+// map: worker w receives exactly the slice of rows falling in its owned
+// range, so every weight row is written by one fixed goroutine for the
+// whole run (stable cache/NUMA placement), not by whichever worker the
+// epoch's touched-row count happened to assign it to. Foreign-row gradient
+// contributions were already exchanged at the reduce barrier — the
+// accumulators are complete before this dispatch — so ownership moves no
+// arithmetic and the result stays bit-identical to any other layout
+// (disjoint rows, index-addressed noise).
+func (e *engine) forOwnerSegments(rows []int32, nRows int, task func(lo, hi int)) {
+	if len(rows) == 0 {
+		return
+	}
+	if e.jobs == nil || e.workers <= 1 {
+		task(0, len(rows))
+		return
+	}
+	owned := e.ownership(nRows)
+	e.seg = e.seg[:0]
+	lo := 0
+	for _, own := range owned {
+		hi := lo
+		for hi < len(rows) && int(rows[hi]) < own.hi {
+			hi++
+		}
+		e.seg = append(e.seg, span{lo, hi}) // may be empty; keeps index == worker
+		lo = hi
+	}
+	e.dispatch(e.seg, task)
 }
 
 // computeSub fills sl with subgraph si's loss, unscaled gradients and clip
@@ -334,12 +440,13 @@ func replayPlan(plan []reduceEntry, dim, panel int) {
 // so sharding rows across workers — in any layout, at any count — yields
 // bit-identical matrices, and each row's noise is also independent of
 // which other rows the batch touched.
-func (e *engine) applyUpdate(w *mathx.Matrix, acc *rowAccumulator, epoch int, matrix uint64) {
+func (e *engine) applyUpdate(w mathx.Mat, acc *rowAccumulator, epoch int, matrix uint64) {
 	cfg := &e.cfg
 	lr := cfg.LearningRate
+	nRows := w.NumRows()
 	if !cfg.Private {
 		rows := acc.sortedRows()
-		e.forSpans(len(rows), func(lo, hi int) {
+		e.forOwnerSegments(rows, nRows, func(lo, hi int) {
 			for _, row := range rows[lo:hi] {
 				mathx.AXPY(-lr, acc.rows[row], w.Row(int(row)))
 			}
@@ -352,7 +459,7 @@ func (e *engine) applyUpdate(w *mathx.Matrix, acc *rowAccumulator, epoch int, ma
 		// sensitivity C tolerated by the mechanism.
 		sd := cfg.Clip * cfg.Sigma
 		rows := acc.sortedRows()
-		e.forSpans(len(rows), func(lo, hi int) {
+		e.forOwnerSegments(rows, nRows, func(lo, hi int) {
 			for _, row := range rows[lo:hi] {
 				e.perturbRow(w.Row(int(row)), acc.rows[row], epoch, matrix, int(row), lr, sd)
 			}
@@ -361,7 +468,24 @@ func (e *engine) applyUpdate(w *mathx.Matrix, acc *rowAccumulator, epoch int, ma
 		// Eq. (6): noise at the worst-case sensitivity S_∇v = B·C lands on
 		// every row of the |V|×r gradient, touched or not.
 		sd := float64(cfg.BatchSize) * cfg.Clip * cfg.Sigma
-		e.forSpans(w.Rows, func(lo, hi int) {
+		if e.lazyNaive {
+			// Lazy path (spill tier): only the epoch's touched rows are
+			// visited now — catchUpEpoch already replayed their deferred
+			// noise before the gradient stage read them, so each touched
+			// row needs exactly its epoch-`epoch` fused grad+noise op here.
+			// Untouched rows owe this epoch's pure-noise op and will
+			// receive it on their next touch or at finalizeNoise.
+			last := e.lastNoised(matrix)
+			rows := acc.sortedRows()
+			e.forOwnerSegments(rows, nRows, func(lo, hi int) {
+				for _, row := range rows[lo:hi] {
+					e.perturbRow(w.Row(int(row)), acc.rows[row], epoch, matrix, int(row), lr, sd)
+					last[row] = int32(epoch + 1)
+				}
+			})
+			return
+		}
+		e.dispatch(e.ownership(nRows), func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				e.perturbRow(w.Row(r), acc.rows[int32(r)], epoch, matrix, r, lr, sd)
 			}
@@ -369,6 +493,132 @@ func (e *engine) applyUpdate(w *mathx.Matrix, acc *rowAccumulator, epoch int, ma
 	default:
 		panic(fmt.Sprintf("core: unknown strategy %v", cfg.Strategy))
 	}
+}
+
+// lastNoised returns the lazy-noise epoch counters for the given matrix.
+func (e *engine) lastNoised(matrix uint64) []int32 {
+	if matrix == matWin {
+		return e.lastIn
+	}
+	return e.lastOut
+}
+
+// setNoiseFloor marks every row of both matrices as having absorbed all
+// naive noise through epoch — the resume entry point: a checkpoint is
+// captured only after finalizeNoise, so the restored matrices are exactly
+// at that floor.
+func (e *engine) setNoiseFloor(epoch int) {
+	if !e.lazyNaive || epoch == 0 {
+		return
+	}
+	for i := range e.lastIn {
+		e.lastIn[i] = int32(epoch)
+	}
+	for i := range e.lastOut {
+		e.lastOut[i] = int32(epoch)
+	}
+}
+
+// finalizeNoise replays every deferred naive-noise row up through `epochs`
+// completed epochs. TrainContext calls it at every boundary where the
+// matrices escape the engine — checkpoint capture, cancellation, run end —
+// so no observer ever sees a matrix missing noise the eager path would
+// have applied. The sweep is serial and row-ascending: chunk-sequential
+// over a spill file, and pure per-row replay, so it cannot perturb the
+// bit-contract.
+func (e *engine) finalizeNoise(epochs int) {
+	if !e.lazyNaive || epochs == 0 {
+		return
+	}
+	sd := float64(e.cfg.BatchSize) * e.cfg.Clip * e.cfg.Sigma
+	lr := e.cfg.LearningRate
+	for _, m := range []struct {
+		w    mathx.Mat
+		id   uint64
+		last []int32
+	}{{e.model.Win, matWin, e.lastIn}, {e.model.Wout, matWout, e.lastOut}} {
+		for r := range m.last {
+			if int(m.last[r]) >= epochs {
+				continue
+			}
+			dst := m.w.Row(r)
+			for ep := int(m.last[r]); ep < epochs; ep++ {
+				e.perturbRow(dst, nil, ep, m.id, r, lr, sd)
+			}
+			m.last[r] = int32(epochs)
+		}
+	}
+}
+
+// catchUpEpoch replays the deferred naive noise owed to every row the
+// epoch's batch touches, bringing them current through epoch-1 BEFORE the
+// gradient stage reads them. This is the step that makes the lazy path
+// bit-identical to the eager sweep: an untouched row's eager update is the
+// pure-noise op dst[d] -= lr·(0 + sd·z), and 0 + x == x exactly in
+// float64, so replaying those ops per row in epoch order — before any
+// reader — executes the identical FP operations in the identical
+// per-coordinate order, just later in wall-clock. Rows may repeat in the
+// batch; the per-row counters make the replay idempotent. Must run after
+// pinEpoch (it faults the same chunks the pin set holds).
+func (e *engine) catchUpEpoch(idx []int, epoch int) {
+	if !e.lazyNaive || epoch == 0 {
+		return
+	}
+	sd := float64(e.cfg.BatchSize) * e.cfg.Clip * e.cfg.Sigma
+	lr := e.cfg.LearningRate
+	catch := func(w mathx.Mat, matrix uint64, last []int32, row int32) {
+		if int(last[row]) >= epoch {
+			return
+		}
+		dst := w.Row(int(row))
+		for ep := int(last[row]); ep < epoch; ep++ {
+			e.perturbRow(dst, nil, ep, matrix, int(row), lr, sd)
+		}
+		last[row] = int32(epoch)
+	}
+	for _, si := range idx {
+		s := e.subs[si]
+		catch(e.model.Win, matWin, e.lastIn, s.I)
+		catch(e.model.Wout, matWout, e.lastOut, s.J)
+		for _, n := range s.Negs {
+			catch(e.model.Wout, matWout, e.lastOut, n)
+		}
+	}
+}
+
+// pinEpoch pins the spill-tier chunks covering every row the epoch's
+// sampled batch will touch — Win: the B center rows; Wout: the (K+1)·B
+// positive and negative rows — so the parallel stages below never fault a
+// chunk in or evict one (the engine's side of mathx.SpillMatrix's pin
+// contract; Config.MinMemoryBudget guarantees the pin set fits). No-op on
+// the dense tier.
+func (e *engine) pinEpoch(idx []int) {
+	if e.winSpill == nil {
+		return
+	}
+	rows := e.pinBuf[:0]
+	for _, si := range idx {
+		rows = append(rows, e.subs[si].I)
+	}
+	e.pinsIn = e.winSpill.Pin(rows)
+	rows = rows[:0]
+	for _, si := range idx {
+		s := e.subs[si]
+		rows = append(rows, s.J)
+		rows = append(rows, s.Negs...)
+	}
+	e.pinsOut = e.woutSpill.Pin(rows)
+	e.pinBuf = rows[:0]
+}
+
+// unpinEpoch releases pinEpoch's chunks. No-op on the dense tier.
+func (e *engine) unpinEpoch() {
+	if e.winSpill == nil {
+		return
+	}
+	e.winSpill.Unpin(e.pinsIn)
+	e.woutSpill.Unpin(e.pinsOut)
+	e.pinsIn, e.pinsOut = nil, nil
 }
 
 // perturbRow applies dst[d] -= lr·(g[d] + sd·noise(epoch, matrix, row, d))

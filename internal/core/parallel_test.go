@@ -47,8 +47,8 @@ func assertBitIdentical(t *testing.T, a, b *Result, label string) {
 		}
 	}
 	for name, pair := range map[string][2][]float64{
-		"Win":  {a.Model.Win.Data, b.Model.Win.Data},
-		"Wout": {a.Model.Wout.Data, b.Model.Wout.Data},
+		"Win":  {a.Model.Win.(*mathx.Matrix).Data, b.Model.Win.(*mathx.Matrix).Data},
+		"Wout": {a.Model.Wout.(*mathx.Matrix).Data, b.Model.Wout.(*mathx.Matrix).Data},
 	} {
 		x, y := pair[0], pair[1]
 		if len(x) != len(y) {

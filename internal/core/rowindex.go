@@ -299,6 +299,75 @@ func WriteIndexedMatrices(fw *FrameWriter, rows, cols int, win, wout []float64) 
 	return fw.writeTrailer(start)
 }
 
+// writeChunkFramesMat emits a Mat's row-major values as chunk frames,
+// staging rows through one chunkFloats buffer so memory stays O(chunk)
+// over any tier — including a spill-backed matrix, whose rows stream
+// through its LRU window. Chunk boundaries fall at multiples of
+// chunkFloats over the flattened array, exactly as writeChunkFrames cuts
+// them, so the emitted frames are byte-identical to a dense write of the
+// same values.
+func writeChunkFramesMat(fw *FrameWriter, m mathx.Mat) ([]int64, error) {
+	rows, cols := m.NumRows(), m.NumCols()
+	offs := make([]int64, 0, chunkCount(rows*cols, chunkFloats))
+	buf := make([]float64, 0, chunkFloats)
+	flush := func() error {
+		start, err := fw.WriteFrame(buf)
+		if err != nil {
+			return err
+		}
+		offs = append(offs, start)
+		buf = buf[:0]
+		return nil
+	}
+	for i := 0; i < rows; i++ {
+		row := mathx.ReadRow(m, i)
+		for len(row) > 0 {
+			take := chunkFloats - len(buf)
+			if take > len(row) {
+				take = len(row)
+			}
+			buf = append(buf, row[:take]...)
+			row = row[take:]
+			if len(buf) == chunkFloats {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(buf) > 0 {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return offs, nil
+}
+
+// WriteIndexedMats is WriteIndexedMatrices over the Mat interface: for the
+// same values it produces the same stream bytes, but it never needs either
+// matrix dense — the artifact store persists a spill-backed result at
+// O(chunk) memory through this path.
+func WriteIndexedMats(fw *FrameWriter, win, wout mathx.Mat) error {
+	rows, cols := win.NumRows(), win.NumCols()
+	if wout.NumRows() != rows || wout.NumCols() != cols {
+		return fmt.Errorf("core: indexed write of mismatched shapes %dx%d and %dx%d",
+			rows, cols, wout.NumRows(), wout.NumCols())
+	}
+	ix := &RowIndex{ChunkFloats: chunkFloats, Rows: rows, Cols: cols}
+	var err error
+	if ix.Win, err = writeChunkFramesMat(fw, win); err != nil {
+		return err
+	}
+	if ix.Wout, err = writeChunkFramesMat(fw, wout); err != nil {
+		return err
+	}
+	start, err := fw.WriteFrame(ix)
+	if err != nil {
+		return err
+	}
+	return fw.writeTrailer(start)
+}
+
 // ReadIndexedMatricesSeq reads both matrices, the index frame, and the
 // trailer from a sequential v3 stream positioned just after its header
 // frame. The recorded index is cross-checked against the offsets actually

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
+	"seprivgemb/internal/proximity"
+	"seprivgemb/internal/xrand"
+)
+
+// spillGraph is large enough that a positive MemoryBudget below the dense
+// footprint is admissible: with Dim=128 a 64 KiB chunk holds 64 rows, so
+// 2048 nodes spread over 32 chunks per matrix (dense footprint 4 MiB,
+// minimum budget ~2.1 MiB at B=8, K=2).
+func spillGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.BarabasiAlbert(2048, 2, xrand.New(9))
+}
+
+func spillConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Dim = 128
+	cfg.K = 2
+	cfg.BatchSize = 8
+	cfg.MaxEpochs = 6
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestSpillMatchesDense is the tentpole determinism contract: the same
+// config trained on the spill tier — under any admissible budget, at any
+// worker count, under either perturbation strategy — is bit-identical to
+// the in-memory run.
+func TestSpillMatchesDense(t *testing.T) {
+	g := spillGraph(t)
+	base := spillConfig()
+	budget := int64(3) << 20 // between MinMemoryBudget (~2.1 MiB) and dense (4 MiB)
+	if min := base.MinMemoryBudget(g.NumNodes()); budget < min {
+		t.Fatalf("test budget %d below minimum %d; enlarge the graph", budget, min)
+	}
+	if dense := base.DenseStateBytes(g.NumNodes()); budget >= dense {
+		t.Fatalf("test budget %d not below dense footprint %d", budget, dense)
+	}
+
+	for _, tc := range []struct {
+		name     string
+		strategy Strategy
+		private  bool
+	}{
+		{"nonzero", StrategyNonZero, true},
+		{"naive", StrategyNaive, true},
+		{"nonprivate", StrategyNonZero, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			cfg.Strategy = tc.strategy
+			cfg.Private = tc.private
+			dense, err := Train(g, proximity.NewDegree(g), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantWin := mathx.DigestMat(dense.Model.Win)
+			wantWout := mathx.DigestMat(dense.Model.Wout)
+			for _, workers := range []int{1, 4} {
+				cfg.Workers = workers
+				cfg.MemoryBudget = budget
+				res, err := Train(g, proximity.NewDegree(g), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				win, ok := res.Model.Win.(*mathx.SpillMatrix)
+				if !ok {
+					t.Fatalf("workers=%d: budgeted run trained on the dense tier (%T)", workers, res.Model.Win)
+				}
+				wout := res.Model.Wout.(*mathx.SpillMatrix)
+				if got := mathx.DigestMat(win); got != wantWin {
+					t.Errorf("workers=%d: spilled Win digest %x, dense %x", workers, got, wantWin)
+				}
+				if got := mathx.DigestMat(wout); got != wantWout {
+					t.Errorf("workers=%d: spilled Wout digest %x, dense %x", workers, got, wantWout)
+				}
+				// The budget is a real bound during training, not advisory:
+				// the high-water residency of each matrix stays within its
+				// share (pins never force growth past it, because validation
+				// admitted the budget against the pinned working set).
+				for name, sm := range map[string]*mathx.SpillMatrix{"Win": win, "Wout": wout} {
+					if sm.MaxResidentBytes() > sm.BudgetBytes() {
+						t.Errorf("workers=%d: %s high-water residency %d exceeds its budget %d",
+							workers, name, sm.MaxResidentBytes(), sm.BudgetBytes())
+					}
+				}
+				if total := win.BudgetBytes() + wout.BudgetBytes(); total > budget {
+					t.Errorf("workers=%d: per-matrix budgets sum to %d > MemoryBudget %d", workers, total, budget)
+				}
+			}
+		})
+	}
+}
+
+// TestSpillResumeSmallerBudget checks that the memory budget is a pure
+// execution knob across checkpoint/resume: a run checkpointed under one
+// budget resumes under a SMALLER budget (or none at all) and still lands
+// bit-identical to the uninterrupted in-memory run. Covers both
+// strategies — naive exercises the lazy-noise floor restored from the
+// checkpoint epoch.
+func TestSpillResumeSmallerBudget(t *testing.T) {
+	g := spillGraph(t)
+	for _, strat := range []struct {
+		name     string
+		strategy Strategy
+	}{{"nonzero", StrategyNonZero}, {"naive", StrategyNaive}} {
+		t.Run(strat.name, func(t *testing.T) {
+			cfg := spillConfig()
+			cfg.Strategy = strat.strategy
+			full, err := Train(g, proximity.NewDegree(g), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mathx.DigestMat(full.Model.Win)
+
+			// Leg 1 trains under a 3 MiB budget and checkpoints at epoch 3.
+			leg1 := cfg
+			leg1.MemoryBudget = 3 << 20
+			leg1.MaxEpochs = 3
+			part, err := TrainContext(context.Background(), g, proximity.NewDegree(g), leg1,
+				Hooks{Checkpoint: func(*Checkpoint) {}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ck := part.Checkpoint
+			if ck == nil || ck.Epoch != 3 {
+				t.Fatalf("leg 1 checkpoint = %+v, want epoch 3", ck)
+			}
+
+			// Leg 2 resumes under the smallest admissible budget — tighter
+			// than the writing run's.
+			leg2 := cfg
+			leg2.MemoryBudget = cfg.MinMemoryBudget(g.NumNodes())
+			if leg2.MemoryBudget >= leg1.MemoryBudget {
+				t.Fatalf("minimum budget %d not smaller than leg 1's %d", leg2.MemoryBudget, leg1.MemoryBudget)
+			}
+			resumed, err := TrainContext(context.Background(), g, proximity.NewDegree(g), leg2, Hooks{Resume: ck})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := resumed.Model.Win.(*mathx.SpillMatrix); !ok {
+				t.Fatalf("resumed run trained on the dense tier (%T)", resumed.Model.Win)
+			}
+			if got := mathx.DigestMat(resumed.Model.Win); got != want {
+				t.Errorf("resume under smaller budget: digest %x, uninterrupted dense %x", got, want)
+			}
+
+			// And a spill-written checkpoint resumes on the dense tier too.
+			denseCfg := cfg
+			denseResumed, err := TrainContext(context.Background(), g, proximity.NewDegree(g), denseCfg, Hooks{Resume: ck})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := denseResumed.Model.Win.(*mathx.Matrix); !ok {
+				t.Fatalf("unbudgeted resume trained on the spill tier (%T)", denseResumed.Model.Win)
+			}
+			if got := mathx.DigestMat(denseResumed.Model.Win); got != want {
+				t.Errorf("dense resume of spilled checkpoint: digest %x, want %x", got, want)
+			}
+		})
+	}
+}
+
+// TestSpillBudgetValidation pins the admission contract: budgets below the
+// pinned working set are rejected with an actionable error, and a budget
+// at or above the dense footprint falls back to the dense tier.
+func TestSpillBudgetValidation(t *testing.T) {
+	g := spillGraph(t)
+	cfg := spillConfig()
+	cfg.MaxEpochs = 1
+
+	cfg.MemoryBudget = cfg.MinMemoryBudget(g.NumNodes()) - 1
+	if _, err := Train(g, proximity.NewDegree(g), cfg); err == nil {
+		t.Error("budget below MinMemoryBudget was accepted")
+	}
+
+	cfg.MemoryBudget = -1
+	if _, err := Train(g, proximity.NewDegree(g), cfg); err == nil {
+		t.Error("negative budget was accepted")
+	}
+
+	cfg.MemoryBudget = cfg.DenseStateBytes(g.NumNodes())
+	res, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Model.Win.(*mathx.Matrix); !ok {
+		t.Errorf("budget at the dense footprint selected the spill tier (%T)", res.Model.Win)
+	}
+}
+
+// TestSpillResidencyBounded is the capacity claim at paper scale: a
+// 2^20-node graph whose dense training state would be 256 MiB trains
+// under a 16 MiB budget, with the spill tier's high-water residency held
+// to the budget and the process heap nowhere near the dense footprint.
+func TestSpillResidencyBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2^20-node training in -short mode")
+	}
+	const n = 1 << 20
+	g := graph.BarabasiAlbert(n, 2, xrand.New(3))
+	cfg := DefaultConfig()
+	cfg.Dim = 16
+	cfg.K = 2
+	cfg.BatchSize = 32
+	cfg.MaxEpochs = 2
+	cfg.Private = false
+	cfg.Clip = 0
+	cfg.Seed = 11
+	cfg.Workers = 4
+	cfg.MemoryBudget = 16 << 20
+
+	if dense := cfg.DenseStateBytes(n); dense != 256<<20 {
+		t.Fatalf("dense footprint = %d, want 256 MiB", dense)
+	}
+	if min := cfg.MinMemoryBudget(n); min > cfg.MemoryBudget {
+		t.Fatalf("minimum budget %d exceeds the 16 MiB test budget", min)
+	}
+
+	res, err := Train(g, proximity.NewDegree(g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, ok := res.Model.Win.(*mathx.SpillMatrix)
+	if !ok {
+		t.Fatalf("budgeted run trained on the dense tier (%T)", res.Model.Win)
+	}
+	wout := res.Model.Wout.(*mathx.SpillMatrix)
+	for name, sm := range map[string]*mathx.SpillMatrix{"Win": win, "Wout": wout} {
+		if sm.MaxResidentBytes() > sm.BudgetBytes() {
+			t.Errorf("%s high-water residency %d exceeds its budget %d", name, sm.MaxResidentBytes(), sm.BudgetBytes())
+		}
+	}
+
+	// The whole process heap — graph, samplers, and the resident spill
+	// window together — must sit far below the dense 256 MiB the weights
+	// alone would have cost.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 192<<20 {
+		t.Errorf("HeapAlloc = %d MiB after budgeted training, want well under the dense 256 MiB", ms.HeapAlloc>>20)
+	}
+}

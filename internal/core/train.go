@@ -64,6 +64,55 @@ type Config struct {
 	// for a fixed Seed (see parallel.go for the determinism contract), so
 	// Workers trades only wall-clock time, never output.
 	Workers int
+	// MemoryBudget bounds the bytes of resident training state for the two
+	// weight matrices. 0 (the default) trains fully in memory; a positive
+	// budget smaller than the dense 2·|V|·r·8 bytes selects the spill tier
+	// (mathx.SpillMatrix): resident rows become an LRU window of 64 KiB
+	// chunks over an unlinked backing file, and the naive strategy's
+	// per-epoch |V|×r noise pass turns lazy (parallel.go). Like Workers,
+	// the budget is an execution knob, not an identity: results are
+	// bit-identical at every budget (and excluded from Config.Hash), so
+	// dedup, job IDs, and artifacts are unaffected. A positive budget below
+	// MinMemoryBudget is rejected by validation; a budget at or above the
+	// dense footprint falls back to the dense tier.
+	MemoryBudget int64
+}
+
+// DenseStateBytes returns the bytes of dense training state a run on
+// `nodes` nodes would hold: two |V|×r float64 matrices. A MemoryBudget at
+// or above this buys nothing and selects the dense tier.
+func (c Config) DenseStateBytes(nodes int) int64 {
+	return 2 * int64(nodes) * int64(c.Dim) * 8
+}
+
+// MinMemoryBudget returns the smallest admissible positive MemoryBudget
+// for a run of this config on `nodes` nodes. An epoch must be able to pin
+// every row it touches — at most BatchSize distinct Win rows (one center
+// per example) and (K+1)·BatchSize distinct Wout rows — in the worst case
+// each landing in its own 64 KiB chunk, plus one streaming spare per
+// matrix (the README "Capacity planning" section works the formula
+// through).
+func (c Config) MinMemoryBudget(nodes int) int64 {
+	return mathx.MinSpillBudget(nodes, c.Dim, c.BatchSize) +
+		mathx.MinSpillBudget(nodes, c.Dim, (c.K+1)*c.BatchSize)
+}
+
+// spillActive reports whether this config trains on the spill tier for a
+// graph of `nodes` nodes: a positive budget strictly below the dense
+// footprint.
+func (c Config) spillActive(nodes int) bool {
+	return c.MemoryBudget > 0 && c.MemoryBudget < c.DenseStateBytes(nodes)
+}
+
+// TrainingStateBytes returns the resident weight-state footprint a run of
+// this config on `nodes` nodes claims: the MemoryBudget when the spill
+// tier is active, the dense 2·|V|·r·8 bytes otherwise. This is what a
+// serving layer charges a job against its per-job memory cap.
+func (c Config) TrainingStateBytes(nodes int) int64 {
+	if c.spillActive(nodes) {
+		return c.MemoryBudget
+	}
+	return c.DenseStateBytes(nodes)
 }
 
 // DefaultConfig returns the paper's experimental settings (Section VI-A):
@@ -105,6 +154,15 @@ func (c Config) validate(g *graph.Graph) error {
 		return fmt.Errorf("core: learning rate %g must be positive", c.LearningRate)
 	case c.Workers < 0:
 		return fmt.Errorf("core: worker count %d must be >= 0", c.Workers)
+	case c.MemoryBudget < 0:
+		return fmt.Errorf("core: memory budget %d must be >= 0", c.MemoryBudget)
+	}
+	if c.spillActive(g.NumNodes()) {
+		if min := c.MinMemoryBudget(g.NumNodes()); c.MemoryBudget < min {
+			return fmt.Errorf("core: memory budget %d B cannot pin one epoch's touched rows; need >= %d B "+
+				"(BatchSize Win rows + (K+1)·BatchSize Wout rows in worst-case distinct 64 KiB chunks)",
+				c.MemoryBudget, min)
+		}
 	}
 	if c.Private {
 		switch {
@@ -150,21 +208,31 @@ type Result struct {
 	Checkpoint *Checkpoint
 }
 
-// Embedding returns the published embedding matrix Win.
-func (r *Result) Embedding() *mathx.Matrix { return r.Model.Win }
+// Embedding returns the published embedding matrix Win as a dense matrix.
+// For the in-memory tier this is the model's own matrix (O(1)); for a
+// spill-backed run it MATERIALIZES the full |V|×r matrix — an O(|V|·r)
+// allocation that defeats the budget, kept as the compatibility escape
+// hatch for whole-matrix consumers (eval, figures). Budget-conscious
+// callers use Rows, which stays O(window) on every tier.
+func (r *Result) Embedding() *mathx.Matrix { return mathx.Materialize(r.Model.Win) }
 
-// Rows returns rows [lo, hi) of the published embedding as an O(1) view
-// sharing the result's backing array — the in-memory half of the
-// partial-embedding serving contract (the artifact store's LoadRows is
-// the on-disk half). Results are shared across deduplicated submissions,
-// so the view must be treated as read-only. An out-of-range window is an
-// error rather than a panic: serving layers turn it into a 400.
+// Rows returns rows [lo, hi) of the published embedding — the in-memory
+// half of the partial-embedding serving contract (the artifact store's
+// LoadRows is the on-disk half). On the dense tier it is an O(1) view
+// sharing the result's backing array; on the spill tier it is an O(window)
+// copy read through the LRU cache, never a full materialization. Results
+// are shared across deduplicated submissions, so the view must be treated
+// as read-only. An out-of-range window is an error rather than a panic:
+// serving layers turn it into a 400.
 func (r *Result) Rows(lo, hi int) (*mathx.Matrix, error) {
-	emb := r.Embedding()
-	if lo < 0 || hi < lo || hi > emb.Rows {
-		return nil, fmt.Errorf("core: row window [%d, %d) outside embedding with %d rows", lo, hi, emb.Rows)
+	win := r.Model.Win
+	if lo < 0 || hi < lo || hi > win.NumRows() {
+		return nil, fmt.Errorf("core: row window [%d, %d) outside embedding with %d rows", lo, hi, win.NumRows())
 	}
-	return emb.RowRange(lo, hi), nil
+	if sm, ok := win.(*mathx.SpillMatrix); ok {
+		return sm.ReadRows(lo, hi), nil
+	}
+	return win.(*mathx.Matrix).RowRange(lo, hi), nil
 }
 
 // Train runs SE-PrivGEmb (Algorithm 2) — or its non-private SE-GEmb

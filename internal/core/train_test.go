@@ -55,8 +55,8 @@ func TestTrainDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.Model.Win.Data {
-		if a.Model.Win.Data[i] != b.Model.Win.Data[i] {
+	for i := range a.Model.Win.(*mathx.Matrix).Data {
+		if a.Model.Win.(*mathx.Matrix).Data[i] != b.Model.Win.(*mathx.Matrix).Data[i] {
 			t.Fatal("same seed produced different embeddings")
 		}
 	}
@@ -66,8 +66,8 @@ func TestTrainDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	same := true
-	for i := range a.Model.Win.Data {
-		if a.Model.Win.Data[i] != c.Model.Win.Data[i] {
+	for i := range a.Model.Win.(*mathx.Matrix).Data {
+		if a.Model.Win.(*mathx.Matrix).Data[i] != c.Model.Win.(*mathx.Matrix).Data[i] {
 			same = false
 			break
 		}
@@ -328,7 +328,7 @@ func TestTrainNaiveStrategyRuns(t *testing.T) {
 	if res.Epochs != 5 {
 		t.Errorf("epochs = %d", res.Epochs)
 	}
-	for _, v := range res.Model.Win.Data {
+	for _, v := range res.Model.Win.(*mathx.Matrix).Data {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatal("naive training produced non-finite embeddings")
 		}

@@ -1,0 +1,379 @@
+package mathx
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"unsafe"
+)
+
+// float64sAsBytes reinterprets xs as its raw in-memory bytes, native
+// endianness. The spill file is process-private (unlinked at creation) and
+// never read by another machine, so byte order portability is moot and the
+// zero-copy view keeps chunk I/O at memcpy speed.
+func float64sAsBytes(xs []float64) []byte {
+	if len(xs) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&xs[0])), len(xs)*8)
+}
+
+// SpillChunkFloats is the number of float64 values per spill-file chunk:
+// 64 KiB, the same frame geometry as the v3 indexed stream format
+// (core/rowindex.go), so the out-of-core tier and the artifact/checkpoint
+// writers stay aligned on one I/O granularity. Unlike v3 stream frames
+// (length-prefixed gob, append-only) the spill file stores chunks as raw
+// fixed-stride native-endian float64 so chunks can be rewritten in place;
+// DESIGN.md §15 documents the layout.
+const SpillChunkFloats = 8192
+
+// SpillChunkBytes is the byte size of a full spill chunk.
+const SpillChunkBytes = SpillChunkFloats * 8
+
+// spillChunk is one resident window of the backing file. Slabs are never
+// reused after eviction — every load allocates fresh — so row views handed
+// out while the chunk was resident stay memory-safe (merely stale) if the
+// chunk is evicted and reloaded.
+type spillChunk struct {
+	data    []float64 // rowsIn(chunk)·cols values
+	dirty   bool      // mutated since load; written back on eviction
+	pins    int       // eviction is forbidden while > 0
+	lastUse uint64    // LRU tick
+}
+
+// SpillMatrix is a file-backed Mat: a rows×cols float64 matrix whose
+// resident state is an LRU window of 64 KiB chunks over an anonymous
+// (created-then-unlinked) temp file, bounded by a byte budget. It is the
+// out-of-core training tier selected by Config.MemoryBudget.
+//
+// Concurrency: all methods are safe for concurrent use, but the Row/ViewRow
+// slices they return are views into resident slabs — valid only until an
+// operation that may evict. The training engine makes that window explicit
+// with the pin discipline: Pin the rows an epoch will touch, run the
+// parallel stages (which then only ever hit pinned, unevictable chunks),
+// Unpin. Rows outside any pin are still accessible; they fault their chunk
+// in and may evict the least-recently-used unpinned chunk.
+//
+// Budget overage: if every resident chunk is pinned and a new chunk must
+// load, the matrix grows past its budget rather than deadlock; the
+// high-water mark (MaxResidentBytes) records it. Callers that need a hard
+// guarantee size their pin sets with MinSpillBudget.
+type SpillMatrix struct {
+	rows, cols int
+	chunkRows  int // rows per chunk: max(1, SpillChunkFloats/cols)
+	numChunks  int
+
+	budgetChunks int // resident ceiling (soft under all-pinned pressure)
+
+	mu          sync.Mutex
+	file        *os.File
+	resident    map[int]*spillChunk
+	tick        uint64
+	maxResident int  // high-water resident chunk count
+	closed      bool // Close called; file gone
+}
+
+// SpillChunkRows returns the rows-per-chunk stride a spill matrix with the
+// given column count uses: max(1, SpillChunkFloats/cols).
+func SpillChunkRows(cols int) int {
+	if cols <= 0 {
+		return 1
+	}
+	cr := SpillChunkFloats / cols
+	if cr < 1 {
+		cr = 1
+	}
+	return cr
+}
+
+// MinSpillBudget returns the smallest byte budget under which a spill
+// matrix of the given shape can keep `rows` arbitrary rows pinned at once
+// plus one spare chunk for streaming reads: (min(rows, numChunks)+1)
+// chunks. The worst case is each pinned row landing in a distinct chunk.
+func MinSpillBudget(totalRows, cols, rows int) int64 {
+	cr := SpillChunkRows(cols)
+	numChunks := (totalRows + cr - 1) / cr
+	if numChunks < 1 {
+		numChunks = 1
+	}
+	need := rows
+	if need > numChunks {
+		need = numChunks
+	}
+	return int64(need+1) * int64(chunkStrideBytes(cr, cols))
+}
+
+func chunkStrideBytes(chunkRows, cols int) int { return chunkRows * cols * 8 }
+
+// NewSpillMatrix creates a zeroed rows×cols spill matrix bounded by
+// budgetBytes of resident chunk slabs. The backing file is created in
+// dir (or the default temp directory when dir is "") and unlinked
+// immediately, so it holds no visible on-disk name and is reclaimed by the
+// OS when closed — including on crash. The budget must admit at least two
+// chunks; errors otherwise.
+func NewSpillMatrix(rows, cols int, budgetBytes int64, dir string) (*SpillMatrix, error) {
+	if rows < 0 || cols <= 0 {
+		return nil, fmt.Errorf("mathx: NewSpillMatrix(%d, %d): invalid shape", rows, cols)
+	}
+	cr := SpillChunkRows(cols)
+	numChunks := (rows + cr - 1) / cr
+	if numChunks < 1 {
+		numChunks = 1
+	}
+	stride := chunkStrideBytes(cr, cols)
+	budgetChunks := int(budgetBytes / int64(stride))
+	if budgetChunks < 2 {
+		return nil, fmt.Errorf("mathx: spill budget %d B below two %d B chunks", budgetBytes, stride)
+	}
+	f, err := os.CreateTemp(dir, "sepriv-spill-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("mathx: spill file: %w", err)
+	}
+	// Unlink now: the fd stays valid, the name disappears, and the kernel
+	// reclaims the blocks when the last fd closes — no cleanup path needed.
+	name := f.Name()
+	if err := os.Remove(name); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mathx: unlink spill file: %w", err)
+	}
+	// Sparse-extend to full size so unwritten chunks read back as zeros,
+	// matching NewMatrix's zeroed allocation.
+	if err := f.Truncate(int64(numChunks) * int64(stride)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mathx: size spill file: %w", err)
+	}
+	m := &SpillMatrix{
+		rows:         rows,
+		cols:         cols,
+		chunkRows:    cr,
+		numChunks:    numChunks,
+		budgetChunks: budgetChunks,
+		file:         f,
+		resident:     make(map[int]*spillChunk),
+	}
+	runtime.SetFinalizer(m, func(sm *SpillMatrix) { sm.Close() })
+	return m, nil
+}
+
+// NumRows implements Mat.
+func (m *SpillMatrix) NumRows() int { return m.rows }
+
+// NumCols implements Mat.
+func (m *SpillMatrix) NumCols() int { return m.cols }
+
+// rowsIn returns how many rows chunk c actually holds (the last chunk may
+// be short).
+func (m *SpillMatrix) rowsIn(c int) int {
+	n := m.rows - c*m.chunkRows
+	if n > m.chunkRows {
+		n = m.chunkRows
+	}
+	return n
+}
+
+// load faults chunk c into residency, evicting the LRU unpinned chunk if
+// the budget is full. Caller holds m.mu. I/O failure panics: the spill
+// file is process-private state, and a torn read/write under it is not a
+// recoverable condition for a training loop mid-epoch (DESIGN.md §15
+// failure matrix).
+func (m *SpillMatrix) load(c int) *spillChunk {
+	if m.closed {
+		panic("mathx: SpillMatrix used after Close")
+	}
+	if ch, ok := m.resident[c]; ok {
+		m.tick++
+		ch.lastUse = m.tick
+		return ch
+	}
+	for len(m.resident) >= m.budgetChunks {
+		if !m.evictLRU() {
+			break // everything pinned: grow past budget rather than deadlock
+		}
+	}
+	nr := m.rowsIn(c)
+	ch := &spillChunk{data: make([]float64, nr*m.cols)}
+	buf := float64sAsBytes(ch.data)
+	if _, err := m.file.ReadAt(buf, int64(c)*int64(chunkStrideBytes(m.chunkRows, m.cols))); err != nil {
+		panic(fmt.Sprintf("mathx: spill read chunk %d: %v", c, err))
+	}
+	m.tick++
+	ch.lastUse = m.tick
+	m.resident[c] = ch
+	if len(m.resident) > m.maxResident {
+		m.maxResident = len(m.resident)
+	}
+	return ch
+}
+
+// evictLRU writes back and drops the least-recently-used unpinned chunk.
+// Returns false when every resident chunk is pinned. Caller holds m.mu.
+func (m *SpillMatrix) evictLRU() bool {
+	victim, found := -1, false
+	var oldest uint64
+	for c, ch := range m.resident {
+		if ch.pins > 0 {
+			continue
+		}
+		if !found || ch.lastUse < oldest {
+			victim, oldest, found = c, ch.lastUse, true
+		}
+	}
+	if !found {
+		return false
+	}
+	m.writeBack(victim, m.resident[victim])
+	delete(m.resident, victim)
+	return true
+}
+
+func (m *SpillMatrix) writeBack(c int, ch *spillChunk) {
+	if !ch.dirty {
+		return
+	}
+	buf := float64sAsBytes(ch.data)
+	if _, err := m.file.WriteAt(buf, int64(c)*int64(chunkStrideBytes(m.chunkRows, m.cols))); err != nil {
+		panic(fmt.Sprintf("mathx: spill write chunk %d: %v", c, err))
+	}
+	ch.dirty = false
+}
+
+// Row implements Mat: a mutable view of row i, valid until the next
+// operation that may evict its chunk (never while the row is pinned). The
+// chunk is marked dirty, so it will be written back on eviction.
+func (m *SpillMatrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mathx: Row(%d) out of range [0,%d)", i, m.rows))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := m.load(i / m.chunkRows)
+	ch.dirty = true
+	r := i % m.chunkRows
+	return ch.data[r*m.cols : (r+1)*m.cols]
+}
+
+// ViewRow implements ViewRower: like Row but read-only, so a clean chunk
+// visited by a streaming reader (digest, artifact encode) is dropped on
+// eviction instead of rewritten. Mutating the returned slice corrupts the
+// residency invariants; don't.
+func (m *SpillMatrix) ViewRow(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mathx: ViewRow(%d) out of range [0,%d)", i, m.rows))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := m.load(i / m.chunkRows)
+	r := i % m.chunkRows
+	return ch.data[r*m.cols : (r+1)*m.cols]
+}
+
+// Pin faults in the chunks covering rows and holds them unevictable until
+// the matching Unpin. Duplicate rows are fine (deduplicated to chunks, one
+// pin per chunk per call). Returns the distinct chunk list for Unpin.
+func (m *SpillMatrix) Pin(rows []int32) []int32 {
+	chunks := m.chunkSet(rows)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range chunks {
+		m.load(int(c)).pins++
+	}
+	return chunks
+}
+
+// Unpin releases a pin set returned by Pin.
+func (m *SpillMatrix) Unpin(chunks []int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range chunks {
+		ch, ok := m.resident[int(c)]
+		if !ok || ch.pins == 0 {
+			panic(fmt.Sprintf("mathx: Unpin of unpinned chunk %d", c))
+		}
+		ch.pins--
+	}
+}
+
+// chunkSet maps a row list to its sorted, deduplicated chunk list.
+func (m *SpillMatrix) chunkSet(rows []int32) []int32 {
+	if len(rows) == 0 {
+		return nil
+	}
+	set := make(map[int32]struct{}, len(rows))
+	for _, r := range rows {
+		set[r/int32(m.chunkRows)] = struct{}{}
+	}
+	out := make([]int32, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadRows copies rows [lo, hi) into a fresh dense matrix. Unlike the
+// dense Matrix.RowRange view this is O(window) copy, not O(1) aliasing —
+// the price of the backing tier — but it is safe to hold indefinitely and
+// never dirties chunks.
+func (m *SpillMatrix) ReadRows(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("mathx: ReadRows(%d, %d) outside [0,%d]", lo, hi, m.rows))
+	}
+	out := NewMatrix(hi-lo, m.cols)
+	for i := lo; i < hi; i++ {
+		copy(out.Row(i-lo), m.ViewRow(i))
+	}
+	return out
+}
+
+// ResidentBytes returns the bytes currently held in resident slabs.
+func (m *SpillMatrix) ResidentBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, ch := range m.resident {
+		n += int64(len(ch.data)) * 8
+	}
+	return n
+}
+
+// MaxResidentBytes returns the high-water mark of resident slab bytes over
+// the matrix's lifetime (counted at full-chunk stride, the allocation
+// granularity). The alloc-bounded residency tests assert this against the
+// configured budget.
+func (m *SpillMatrix) MaxResidentBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(m.maxResident) * int64(chunkStrideBytes(m.chunkRows, m.cols))
+}
+
+// BudgetBytes returns the resident ceiling in bytes (chunk-granular).
+func (m *SpillMatrix) BudgetBytes() int64 {
+	return int64(m.budgetChunks) * int64(chunkStrideBytes(m.chunkRows, m.cols))
+}
+
+// Flush writes every dirty resident chunk back to the file without
+// evicting, so a subsequent crash loses nothing (checkpoint boundaries
+// call this before capturing).
+func (m *SpillMatrix) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for c, ch := range m.resident {
+		m.writeBack(c, ch)
+	}
+}
+
+// Close releases the backing file descriptor; the already-unlinked file's
+// blocks are reclaimed by the kernel. Safe to call twice.
+func (m *SpillMatrix) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.resident = nil
+	runtime.SetFinalizer(m, nil)
+	return m.file.Close()
+}

@@ -1,0 +1,203 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// fillRow writes a deterministic, row-distinct pattern.
+func fillRow(dst []float64, row int) {
+	for d := range dst {
+		dst[d] = float64(row)*1e3 + float64(d) + 0.25
+	}
+}
+
+func newTestSpill(t *testing.T, rows, cols int, budget int64) *SpillMatrix {
+	t.Helper()
+	sm, err := NewSpillMatrix(rows, cols, budget, t.TempDir())
+	if err != nil {
+		t.Fatalf("NewSpillMatrix: %v", err)
+	}
+	t.Cleanup(func() { sm.Close() })
+	return sm
+}
+
+func TestSpillMatrixRoundTripAcrossEvictions(t *testing.T) {
+	const rows, cols = 1000, 16 // chunkRows = 512, 2 chunks... make it spill harder
+	// Use a shape with many chunks: 8192/16 = 512 rows/chunk → 2 chunks.
+	// Shrink chunk pressure instead by a wide matrix: cols=1024 → 8 rows/chunk.
+	sm := newTestSpill(t, rows, 1024, 4*int64(chunkStrideBytes(SpillChunkRows(1024), 1024)))
+	if got := sm.NumRows(); got != rows {
+		t.Fatalf("NumRows = %d, want %d", got, rows)
+	}
+	for i := 0; i < rows; i++ {
+		fillRow(sm.Row(i), i)
+	}
+	// Every write beyond 4 resident chunks forced evictions; verify all
+	// values survived the write-back/reload cycle.
+	for i := 0; i < rows; i++ {
+		want := make([]float64, 1024)
+		fillRow(want, i)
+		got := sm.ViewRow(i)
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("row %d col %d = %v, want %v", i, d, got[d], want[d])
+			}
+		}
+	}
+	_ = cols
+}
+
+func TestSpillMatrixZeroInitialized(t *testing.T) {
+	sm := newTestSpill(t, 300, 64, 1<<20)
+	for _, i := range []int{0, 17, 128, 299} {
+		for d, v := range sm.ViewRow(i) {
+			if v != 0 {
+				t.Fatalf("fresh row %d col %d = %v, want 0", i, d, v)
+			}
+		}
+	}
+}
+
+func TestSpillMatrixBudgetEnforced(t *testing.T) {
+	const cols = 512 // 16 rows/chunk
+	stride := int64(chunkStrideBytes(SpillChunkRows(cols), cols))
+	sm := newTestSpill(t, 1600, cols, 3*stride) // 100 chunks, 3 resident
+	for i := 0; i < 1600; i++ {
+		fillRow(sm.Row(i), i)
+	}
+	// Random-order reads to churn the LRU.
+	for i := 0; i < 1600; i += 97 {
+		sm.ViewRow(i)
+	}
+	if got := sm.MaxResidentBytes(); got > 3*stride {
+		t.Fatalf("MaxResidentBytes = %d, want <= %d", got, 3*stride)
+	}
+	if got := sm.BudgetBytes(); got != 3*stride {
+		t.Fatalf("BudgetBytes = %d, want %d", got, 3*stride)
+	}
+}
+
+func TestSpillMatrixPinHoldsViews(t *testing.T) {
+	const cols = 1024 // 8 rows/chunk
+	stride := int64(chunkStrideBytes(SpillChunkRows(cols), cols))
+	sm := newTestSpill(t, 256, cols, 2*stride)
+	// Pin rows in two distinct chunks (the whole budget), then touch a
+	// third chunk: the matrix must grow past budget rather than evict a
+	// pinned chunk, and the pinned views must stay live.
+	pins := sm.Pin([]int32{0, 100})
+	v0 := sm.Row(0)
+	fillRow(v0, 0)
+	sm.Row(200)[0] = 42 // third chunk: over-budget load
+	if v0[3] != 0.25+3 {
+		t.Fatalf("pinned view mutated by eviction: %v", v0[3])
+	}
+	sm.Unpin(pins)
+	want := make([]float64, cols)
+	fillRow(want, 0)
+	got := sm.ViewRow(0)
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatalf("row 0 col %d = %v, want %v", d, got[d], want[d])
+		}
+	}
+	if sm.ViewRow(200)[0] != 42 {
+		t.Fatalf("row 200 lost over-budget write")
+	}
+}
+
+func TestSpillMatrixUnpinUnpinnedPanics(t *testing.T) {
+	sm := newTestSpill(t, 64, 64, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Unpin of never-pinned chunk did not panic")
+		}
+	}()
+	sm.Unpin([]int32{0})
+}
+
+func TestSpillMatrixReadRows(t *testing.T) {
+	sm := newTestSpill(t, 500, 32, 1<<20)
+	for i := 0; i < 500; i++ {
+		fillRow(sm.Row(i), i)
+	}
+	w := sm.ReadRows(123, 321)
+	if w.Rows != 321-123 || w.Cols != 32 {
+		t.Fatalf("window shape %dx%d", w.Rows, w.Cols)
+	}
+	for i := 0; i < w.Rows; i++ {
+		want := make([]float64, 32)
+		fillRow(want, 123+i)
+		for d := range want {
+			if w.At(i, d) != want[d] {
+				t.Fatalf("window row %d col %d mismatch", i, d)
+			}
+		}
+	}
+}
+
+func TestDigestMatMatchesDense(t *testing.T) {
+	const rows, cols = 700, 48
+	dense := NewMatrix(rows, cols)
+	for i := range dense.Data {
+		dense.Data[i] = math.Sin(float64(i)) * 1e6
+	}
+	sm := newTestSpill(t, rows, cols, MinSpillBudget(rows, cols, 4))
+	CopyIntoMat(sm, dense.Data)
+	if got, want := DigestMat(sm), DigestFloat64s(dense.Data); got != want {
+		t.Fatalf("DigestMat(spill) = %#x, DigestFloat64s(dense) = %#x", got, want)
+	}
+	if got, want := DigestMat(dense), DigestFloat64s(dense.Data); got != want {
+		t.Fatalf("DigestMat(dense) = %#x, want %#x", got, want)
+	}
+}
+
+func TestCopyOutCopyIntoRoundTrip(t *testing.T) {
+	const rows, cols = 97, 33
+	sm := newTestSpill(t, rows, cols, MinSpillBudget(rows, cols, 2))
+	for i := 0; i < rows; i++ {
+		fillRow(sm.Row(i), i)
+	}
+	out := CopyOut(sm)
+	dense := NewMatrix(rows, cols)
+	CopyIntoMat(dense, out)
+	for i := 0; i < rows; i++ {
+		want := make([]float64, cols)
+		fillRow(want, i)
+		for d := range want {
+			if dense.At(i, d) != want[d] {
+				t.Fatalf("round-trip row %d col %d mismatch", i, d)
+			}
+		}
+	}
+	m := Materialize(sm)
+	if DigestFloat64s(m.Data) != DigestFloat64s(out) {
+		t.Fatalf("Materialize digest differs from CopyOut")
+	}
+	if Materialize(dense) != dense {
+		t.Fatalf("Materialize(dense) must return the same matrix")
+	}
+}
+
+func TestNewSpillMatrixRejectsTinyBudget(t *testing.T) {
+	if _, err := NewSpillMatrix(100, 64, 1024, t.TempDir()); err == nil {
+		t.Fatalf("budget below two chunks must error")
+	}
+}
+
+func TestMinSpillBudgetCoversPins(t *testing.T) {
+	const rows, cols = 4096, 128 // 64 rows/chunk, 64 chunks
+	budget := MinSpillBudget(rows, cols, 10)
+	sm := newTestSpill(t, rows, cols, budget)
+	// 10 rows in 10 distinct chunks — the worst case MinSpillBudget sizes.
+	var pinRows []int32
+	for c := 0; c < 10; c++ {
+		pinRows = append(pinRows, int32(c*64))
+	}
+	pins := sm.Pin(pinRows)
+	sm.ViewRow(rows - 1) // the +1 streaming spare
+	if got := sm.MaxResidentBytes(); got > budget {
+		t.Fatalf("resident %d exceeded MinSpillBudget %d", got, budget)
+	}
+	sm.Unpin(pins)
+}

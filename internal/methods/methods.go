@@ -156,6 +156,9 @@ func ValidateConfig(name string, g *graph.Graph, cfg core.Config) error {
 	if n == Default {
 		return nil
 	}
+	if cfg.MemoryBudget > 0 {
+		return fmt.Errorf("methods: %s does not support a training memory budget (the out-of-core spill tier is %s-only)", n, Default)
+	}
 	if !cfg.Private {
 		return fmt.Errorf("methods: %s has no non-private variant (private=false is only meaningful for %s)", n, Default)
 	}

@@ -238,8 +238,8 @@ func TestGoldenBaselineDeterminism(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if res.Model.Win.Rows != g.NumNodes() || res.Model.Dim != 16 {
-					t.Fatalf("embedding shape %dx%d", res.Model.Win.Rows, res.Model.Dim)
+				if res.Model.Win.NumRows() != g.NumNodes() || res.Model.Dim != 16 {
+					t.Fatalf("embedding shape %dx%d", res.Model.Win.NumRows(), res.Model.Dim)
 				}
 				if got := fnv1a64(res.Embedding().Data); got != want {
 					t.Fatalf("golden hash at Workers=%d = %#x, want %#x\n"+

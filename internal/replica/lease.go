@@ -6,9 +6,14 @@
 // consensus substrate, which is exactly as much coordination as a
 // deterministic trainer needs. The protocol:
 //
-//	Acquire    — create <jobID>.lease with O_CREATE|O_EXCL. Exactly one
-//	             replica wins; the file body is the spec.LeaseInfo JSON
-//	             (owner, acquired/renewed/expires timestamps).
+//	Acquire    — stage the lease body in a private temp file and link(2)
+//	             it to <jobID>.lease. The link is atomic and fails EEXIST,
+//	             so exactly one replica wins AND the lease file can never
+//	             be observed half-written (a create-then-write grant has a
+//	             window where a peer reads an empty lease, mistakes it for
+//	             a crashed writer's corpse, and steals a live owner's
+//	             grant). The body is the spec.LeaseInfo JSON (owner,
+//	             acquired/renewed/expires timestamps).
 //	Heartbeat  — the owner renews the lease (atomic tmp+rename rewrite)
 //	             every TTL/3 while it trains, pushing ExpiresAt forward.
 //	Takeover   — a lease whose ExpiresAt has passed is dead (the owner
@@ -192,26 +197,39 @@ func (m *Manager) Acquire(jobID string) (bool, error) {
 	return false, nil
 }
 
-// tryCreate attempts the create-exclusive grant.
+// tryCreate attempts the exclusive grant. The lease must appear
+// atomically and fully written: a peer that reads a half-written lease
+// cannot tell it from a crashed writer's corpse and would steal it out
+// from under a live owner — both would then return true from Acquire. So
+// the payload is staged in a private temp file (the janitor's ".tmp"
+// namespace, in case we crash here) and link(2)ed into place: the link
+// either materializes the complete file or fails with EEXIST.
 func (m *Manager) tryCreate(jobID, path string) (bool, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	li := m.info(jobID, m.now())
+	data, err := json.Marshal(li)
 	if err != nil {
-		if os.IsExist(err) {
-			return false, nil
-		}
 		return false, err
 	}
-	li := m.info(jobID, m.now())
-	data, merr := json.Marshal(li)
-	if merr == nil {
-		_, merr = f.Write(data)
+	f, err := os.CreateTemp(m.dir, sanitize(jobID)+".lease.grant-*.tmp")
+	if err != nil {
+		return false, err
 	}
-	if cerr := f.Close(); merr == nil {
-		merr = cerr
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	if merr != nil {
-		os.Remove(path)
-		return false, merr
+	if werr != nil {
+		os.Remove(tmp)
+		return false, werr
+	}
+	lerr := os.Link(tmp, path)
+	os.Remove(tmp)
+	if lerr != nil {
+		if os.IsExist(lerr) {
+			return false, nil
+		}
+		return false, lerr
 	}
 	m.mu.Lock()
 	m.held[jobID] = li

@@ -2,8 +2,10 @@ package replica
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -275,45 +277,60 @@ func TestPollIntervalClamp(t *testing.T) {
 	}
 }
 
-// TestAcquireContention hammers one job from several managers at once:
-// however the races fall, at most one replica may believe it holds the
-// lease, and the on-disk owner must be one of the winners.
+// TestAcquireContention hammers jobs from several managers at once:
+// however the races fall, at most one replica may believe it holds a
+// lease, and the on-disk owner must be the winner. Several rounds over
+// fresh job IDs, because the historical failure mode — a peer reading a
+// half-written grant, mistaking it for a crashed writer, and stealing it
+// out from under the live owner — needed scheduler pressure to show up.
 func TestAcquireContention(t *testing.T) {
 	dir := t.TempDir()
-	const job = "j00000000000000ee"
 	const n = 8
 	managers := make([]*Manager, n)
 	for i := range managers {
 		managers[i] = mgr(t, dir, string(rune('a'+i)), time.Minute, nil)
 	}
-	wins := make(chan string, n)
-	done := make(chan struct{})
-	for _, m := range managers {
-		go func(m *Manager) {
-			defer func() { done <- struct{}{} }()
-			ok, err := m.Acquire(job)
-			if err != nil {
-				t.Errorf("Acquire(%s): %v", m.ID(), err)
-				return
-			}
-			if ok {
-				wins <- m.ID()
-			}
-		}(m)
+	for round := 0; round < 25; round++ {
+		job := fmt.Sprintf("j%016x", 0xee0+round)
+		wins := make(chan string, n)
+		done := make(chan struct{})
+		for _, m := range managers {
+			go func(m *Manager) {
+				defer func() { done <- struct{}{} }()
+				ok, err := m.Acquire(job)
+				if err != nil {
+					t.Errorf("Acquire(%s): %v", m.ID(), err)
+					return
+				}
+				if ok {
+					wins <- m.ID()
+				}
+			}(m)
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		close(wins)
+		var winners []string
+		for w := range wins {
+			winners = append(winners, w)
+		}
+		if len(winners) != 1 {
+			t.Fatalf("round %d: %d replicas won the lease (%v), want exactly 1", round, len(winners), winners)
+		}
+		li, ok := managers[0].Owner(job)
+		if !ok || li.Replica != winners[0] {
+			t.Fatalf("round %d: disk owner %+v disagrees with winner %s", round, li, winners[0])
+		}
 	}
-	for i := 0; i < n; i++ {
-		<-done
+	// The grant's staging files must never outlive Acquire, win or lose.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
 	}
-	close(wins)
-	var winners []string
-	for w := range wins {
-		winners = append(winners, w)
-	}
-	if len(winners) != 1 {
-		t.Fatalf("%d replicas won the lease (%v), want exactly 1", len(winners), winners)
-	}
-	li, ok := managers[0].Owner(job)
-	if !ok || li.Replica != winners[0] {
-		t.Fatalf("disk owner %+v disagrees with winner %s", li, winners[0])
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") || strings.Contains(e.Name(), ".stale-") {
+			t.Errorf("stray staging file left behind: %s", e.Name())
+		}
 	}
 }

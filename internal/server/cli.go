@@ -35,6 +35,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		graphDir    = fs.String("graph-dir", "", "root directory for JobSpec file graph sources (empty disables them)")
 		artifactDir = fs.String("artifact-dir", "", "persist completed results here and serve repeats across restarts")
 		tenantJobs  = fs.Int("tenant-inflight", 0, "max unfinished jobs per tenant; excess submissions get 429 (0 = unlimited)")
+		maxTrainMem = fs.String("max-train-mem", "", "per-job cap on resident training state, e.g. 2GiB: oversized jobs are rejected (400) unless their spec sets a memoryBudget under the cap (empty = unlimited)")
 		memoMax     = fs.Int("memo-max-results", 1024, "max memoized results before LRU eviction (0 = unbounded)")
 		memoTTL     = fs.Duration("memo-ttl", time.Hour, "expire memoized results this long after last use (0 = never)")
 		replicaID   = fs.String("replica-id", "", "join the replica set sharing -artifact-dir under this identity: job ownership is leased through the store, and results land once per set")
@@ -50,6 +51,14 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		TenantInflight: *tenantJobs,
 		GraphDir:       *graphDir,
 		ArtifactDir:    *artifactDir,
+	}
+	if *maxTrainMem != "" {
+		capBytes, err := ParseByteSize(*maxTrainMem)
+		if err != nil {
+			fmt.Fprintf(stderr, "seprivd: -max-train-mem: %v\n", err)
+			return 2
+		}
+		opts.MaxTrainingBytes = capBytes
 	}
 	if *replicaID != "" {
 		if *artifactDir == "" {

@@ -93,6 +93,14 @@ type Options struct {
 	// result as a gob artifact (chunked checkpoint framing) and serves
 	// identical future submissions from disk across process restarts.
 	ArtifactDir string
+	// MaxTrainingBytes caps the resident training-state footprint a single
+	// job may claim: the dense 2·|V|·r·8 weight bytes for in-memory runs,
+	// or the job's MemoryBudget when it selects the spill tier. Jobs over
+	// the cap are rejected at admission with ErrInvalidSpec (→ 400), with
+	// an error that names the budget that would make the job admissible —
+	// the server-side lever that turns "this graph is too big" into "set
+	// memoryBudget and resubmit". 0 disables the cap.
+	MaxTrainingBytes int64
 	// Replica, when non-nil, makes this service one member of a
 	// shared-nothing replica set over ArtifactDir (which must then be
 	// set): before training a job, the service leases its ownership
@@ -473,7 +481,7 @@ func (j *Job) EmbeddingHash() (uint64, bool) {
 	}
 	j.hashOnce.Do(func() {
 		if j.res != nil && j.res.Model != nil {
-			j.hashVal = mathx.DigestFloat64s(j.res.Model.Win.Data)
+			j.hashVal = mathx.DigestMat(j.res.Model.Win)
 			j.hashOK = true
 		}
 	})
@@ -657,6 +665,21 @@ func (s *Service) submit(method string, g *graph.Graph, prox proximity.Proximity
 	mname, err := methods.Canonical(method)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidSpec, err)
+	}
+	// Per-job memory admission: a job's resident training state — its
+	// MemoryBudget on the spill tier, the dense 2·|V|·r·8 bytes otherwise —
+	// must fit the server's cap. Rejecting here (not at training time)
+	// keeps an oversized graph a 400 with an actionable remedy: the error
+	// names the spill budget that would make the same spec admissible.
+	if limit := s.opts.MaxTrainingBytes; limit > 0 {
+		if need := cfg.TrainingStateBytes(g.NumNodes()); need > limit {
+			if min := cfg.MinMemoryBudget(g.NumNodes()); mname == methods.Default && min <= limit {
+				return nil, fmt.Errorf("%w: training state (%d bytes) exceeds the server's %d-byte cap; set config.memoryBudget between %d and %d to train under the cap",
+					ErrInvalidSpec, need, limit, min, limit)
+			}
+			return nil, fmt.Errorf("%w: training state (%d bytes) exceeds the server's %d-byte cap",
+				ErrInvalidSpec, need, limit)
+		}
 	}
 	key := experiments.ResultKey{
 		Method:    mname,
@@ -913,7 +936,7 @@ func (s *Service) publishTerminal(j *Job) {
 	case StatusDone:
 		ev.Type = "done"
 		if j.res != nil && j.res.Model != nil {
-			ev.EmbeddingHash = fmt.Sprintf("%016x", mathx.DigestFloat64s(j.res.Model.Win.Data))
+			ev.EmbeddingHash = fmt.Sprintf("%016x", mathx.DigestMat(j.res.Model.Win))
 		}
 	case StatusFailed:
 		ev.Type = "failed"

@@ -12,6 +12,7 @@ import (
 	"seprivgemb/internal/core"
 	"seprivgemb/internal/experiments"
 	"seprivgemb/internal/graph"
+	"seprivgemb/internal/mathx"
 	"seprivgemb/internal/proximity"
 	"seprivgemb/internal/spec"
 )
@@ -348,8 +349,8 @@ func TestArtifactStoreRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("saved artifact not loadable")
 	}
-	if !reflect.DeepEqual(got.Model.Win.Data, res.Model.Win.Data) ||
-		!reflect.DeepEqual(got.Model.Wout.Data, res.Model.Wout.Data) {
+	if !reflect.DeepEqual(got.Model.Win.(*mathx.Matrix).Data, res.Model.Win.(*mathx.Matrix).Data) ||
+		!reflect.DeepEqual(got.Model.Wout.(*mathx.Matrix).Data, res.Model.Wout.(*mathx.Matrix).Data) {
 		t.Fatal("artifact round trip changed the matrices")
 	}
 	if got.Epochs != res.Epochs || got.Stopped != res.Stopped ||

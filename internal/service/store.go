@@ -155,7 +155,7 @@ func writeArtifact(w io.Writer, key experiments.ResultKey, res *core.Result) err
 		Method:           keyMethod(key),
 		Proximity:        key.Proximity,
 		ConfigHash:       key.Config,
-		Nodes:            res.Model.Win.Rows,
+		Nodes:            res.Model.Win.NumRows(),
 		Dim:              res.Model.Dim,
 		Epochs:           res.Epochs,
 		Stopped:          int(res.Stopped),
@@ -163,12 +163,15 @@ func writeArtifact(w io.Writer, key experiments.ResultKey, res *core.Result) err
 		EpsilonSpent:     res.EpsilonSpent,
 		DeltaSpent:       res.DeltaSpent,
 		LossHistory:      res.LossHistory,
-		EmbeddingHash:    mathx.DigestFloat64s(res.Model.Win.Data),
+		EmbeddingHash:    mathx.DigestMat(res.Model.Win),
 	}
 	if _, err := fw.WriteFrame(&hdr); err != nil {
 		return err
 	}
-	return core.WriteIndexedMatrices(fw, hdr.Nodes, hdr.Dim, res.Model.Win.Data, res.Model.Wout.Data)
+	// The Mat-streaming writer persists spill-backed results at O(chunk)
+	// memory; for dense results it emits byte-identical frames to the
+	// []float64 path.
+	return core.WriteIndexedMats(fw, res.Model.Win, res.Model.Wout)
 }
 
 // Load retrieves the persisted result for key, reporting false on any

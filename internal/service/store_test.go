@@ -56,13 +56,13 @@ func TestStoreRoundTripAndRows(t *testing.T) {
 	if !ok {
 		t.Fatal("Load missed a just-saved artifact")
 	}
-	if !reflect.DeepEqual(res.Model.Win.Data, got.Model.Win.Data) ||
-		!reflect.DeepEqual(res.Model.Wout.Data, got.Model.Wout.Data) ||
+	if !reflect.DeepEqual(res.Model.Win.(*mathx.Matrix).Data, got.Model.Win.(*mathx.Matrix).Data) ||
+		!reflect.DeepEqual(res.Model.Wout.(*mathx.Matrix).Data, got.Model.Wout.(*mathx.Matrix).Data) ||
 		got.Epochs != res.Epochs || got.EpsilonSpent != res.EpsilonSpent {
 		t.Fatal("round trip changed the result")
 	}
 
-	wantHash := mathx.DigestFloat64s(res.Model.Win.Data)
+	wantHash := mathx.DigestFloat64s(res.Model.Win.(*mathx.Matrix).Data)
 	for _, w := range [][2]int{{0, 1000}, {0, 1}, {999, 1000}, {100, 400}, {500, 500}} {
 		lo, hi := w[0], w[1]
 		win, err := st.LoadRows(key, lo, hi)
@@ -72,7 +72,7 @@ func TestStoreRoundTripAndRows(t *testing.T) {
 		if win.TotalRows != 1000 || win.Dim != 17 || win.FullHash != wantHash {
 			t.Fatalf("LoadRows(%d, %d) metadata %+v", lo, hi, win)
 		}
-		want := res.Model.Win.Data[lo*17 : hi*17]
+		want := res.Model.Win.(*mathx.Matrix).Data[lo*17 : hi*17]
 		if !reflect.DeepEqual(win.Rows.Data, append([]float64{}, want...)) {
 			t.Errorf("LoadRows(%d, %d) diverges from the full matrix", lo, hi)
 		}
@@ -122,7 +122,7 @@ func writeLegacyV1Artifact(t *testing.T, st *Store, key experiments.ResultKey, r
 		GraphFingerprint: key.Graph,
 		Proximity:        key.Proximity,
 		ConfigHash:       key.Config,
-		Nodes:            res.Model.Win.Rows,
+		Nodes:            res.Model.Win.NumRows(),
 		Dim:              res.Model.Dim,
 		Epochs:           res.Epochs,
 		Stopped:          int(res.Stopped),
@@ -133,10 +133,10 @@ func writeLegacyV1Artifact(t *testing.T, st *Store, key experiments.ResultKey, r
 	if err := enc.Encode(&hdr); err != nil {
 		t.Fatal(err)
 	}
-	if err := core.EncodeFloat64Chunks(enc, res.Model.Win.Data); err != nil {
+	if err := core.EncodeFloat64Chunks(enc, res.Model.Win.(*mathx.Matrix).Data); err != nil {
 		t.Fatal(err)
 	}
-	if err := core.EncodeFloat64Chunks(enc, res.Model.Wout.Data); err != nil {
+	if err := core.EncodeFloat64Chunks(enc, res.Model.Wout.(*mathx.Matrix).Data); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -158,13 +158,13 @@ func TestStoreLegacyV1Compat(t *testing.T) {
 	if !ok {
 		t.Fatal("legacy v1 artifact did not load")
 	}
-	if !reflect.DeepEqual(res.Model.Win.Data, got.Model.Win.Data) ||
-		!reflect.DeepEqual(res.Model.Wout.Data, got.Model.Wout.Data) ||
+	if !reflect.DeepEqual(res.Model.Win.(*mathx.Matrix).Data, got.Model.Win.(*mathx.Matrix).Data) ||
+		!reflect.DeepEqual(res.Model.Wout.(*mathx.Matrix).Data, got.Model.Wout.(*mathx.Matrix).Data) ||
 		got.Epochs != res.Epochs {
 		t.Fatal("legacy v1 decode changed the result")
 	}
 
-	wantHash := mathx.DigestFloat64s(res.Model.Win.Data)
+	wantHash := mathx.DigestFloat64s(res.Model.Win.(*mathx.Matrix).Data)
 	for _, w := range [][2]int{{0, 10}, {0, 300}, {299, 300}, {100, 100}} {
 		lo, hi := w[0], w[1]
 		win, err := st.LoadRows(key, lo, hi)
@@ -174,7 +174,7 @@ func TestStoreLegacyV1Compat(t *testing.T) {
 		if win.TotalRows != 300 || win.Dim != 8 || win.FullHash != wantHash {
 			t.Fatalf("v1 fallback window metadata %+v", win)
 		}
-		want := res.Model.Win.Data[lo*8 : hi*8]
+		want := res.Model.Win.(*mathx.Matrix).Data[lo*8 : hi*8]
 		if !reflect.DeepEqual(win.Rows.Data, append([]float64{}, want...)) {
 			t.Errorf("v1 fallback LoadRows(%d, %d) diverges from the full matrix", lo, hi)
 		}

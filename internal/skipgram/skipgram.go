@@ -19,35 +19,56 @@ import (
 
 // Model holds the two trainable embedding matrices. Win rows are the
 // central vectors v_i (the published embedding); Wout rows are the context
-// vectors v_j.
+// vectors v_j. The matrices are mathx.Mat so the same gradient kernels run
+// over the dense in-memory tier and the budget-bounded spill tier
+// (mathx.SpillMatrix, selected by core.Config.MemoryBudget) without a
+// second numerical path.
 type Model struct {
 	Dim  int
-	Win  *mathx.Matrix
-	Wout *mathx.Matrix
+	Win  mathx.Mat
+	Wout mathx.Mat
 }
 
-// New allocates a model for n nodes with r-dimensional embeddings. Both
-// matrices are initialized uniformly in [−0.5/r, 0.5/r). (word2vec zeroes
-// Wout, but with a zero context matrix the published Win receives no
-// gradient until Wout warms up — wasting most of the paper's tightly
-// budgeted epoch count, so both sides start at the same small scale.)
+// New allocates a dense model for n nodes with r-dimensional embeddings,
+// initialized by NewWith.
 func New(n, r int, rng *xrand.RNG) *Model {
 	if n < 1 || r < 1 {
 		panic(fmt.Sprintf("skipgram: New(%d, %d) invalid size", n, r))
 	}
-	m := &Model{Dim: r, Win: mathx.NewMatrix(n, r), Wout: mathx.NewMatrix(n, r)}
-	scale := 1 / float64(r)
-	for i := range m.Win.Data {
-		m.Win.Data[i] = (rng.Float64() - 0.5) * scale
+	return NewWith(mathx.NewMatrix(n, r), mathx.NewMatrix(n, r), rng)
+}
+
+// NewWith wraps caller-provided (same-shape) matrices — dense or
+// spill-backed — and initializes both uniformly in [−0.5/r, 0.5/r).
+// (word2vec zeroes Wout, but with a zero context matrix the published Win
+// receives no gradient until Wout warms up — wasting most of the paper's
+// tightly budgeted epoch count, so both sides start at the same small
+// scale.) Initialization streams row by row in row-major order — Win fully,
+// then Wout — which is exactly the draw order the former dense-only loop
+// took over the backing arrays, so a spill-backed model consumes the run
+// RNG identically to a dense one and the bit-identity contract holds
+// across storage tiers.
+func NewWith(win, wout mathx.Mat, rng *xrand.RNG) *Model {
+	r := win.NumCols()
+	if win.NumRows() != wout.NumRows() || r != wout.NumCols() {
+		panic(fmt.Sprintf("skipgram: NewWith shapes %dx%d vs %dx%d",
+			win.NumRows(), r, wout.NumRows(), wout.NumCols()))
 	}
-	for i := range m.Wout.Data {
-		m.Wout.Data[i] = (rng.Float64() - 0.5) * scale
+	m := &Model{Dim: r, Win: win, Wout: wout}
+	scale := 1 / float64(r)
+	for _, w := range []mathx.Mat{win, wout} {
+		for i := 0; i < w.NumRows(); i++ {
+			row := w.Row(i)
+			for d := range row {
+				row[d] = (rng.Float64() - 0.5) * scale
+			}
+		}
 	}
 	return m
 }
 
 // NumNodes returns the number of embedded nodes.
-func (m *Model) NumNodes() int { return m.Win.Rows }
+func (m *Model) NumNodes() int { return m.Win.NumRows() }
 
 // Example is one training sample: the positive pair (I, J), its negative
 // nodes, and the structure-preference weight W = p_ij from Eq. (5).

@@ -13,8 +13,8 @@ func testModel(t *testing.T, n, dim int) *Model {
 	m := New(n, dim, xrand.New(7))
 	// Give Wout non-zero values so gradients flow both ways.
 	r := xrand.New(8)
-	for i := range m.Wout.Data {
-		m.Wout.Data[i] = (r.Float64() - 0.5) * 0.5
+	for i := range m.Wout.(*mathx.Matrix).Data {
+		m.Wout.(*mathx.Matrix).Data[i] = (r.Float64() - 0.5) * 0.5
 	}
 	return m
 }
@@ -25,13 +25,13 @@ func TestNewInitialization(t *testing.T) {
 		t.Fatalf("shape: %d nodes, dim %d", m.NumNodes(), m.Dim)
 	}
 	bound := 0.5 / 16
-	for _, v := range m.Win.Data {
+	for _, v := range m.Win.(*mathx.Matrix).Data {
 		if v < -bound || v >= bound {
 			t.Fatalf("Win init %g outside [-%g, %g)", v, bound, bound)
 		}
 	}
 	var woutNorm float64
-	for _, v := range m.Wout.Data {
+	for _, v := range m.Wout.(*mathx.Matrix).Data {
 		if v < -bound || v >= bound {
 			t.Fatalf("Wout init %g outside [-%g, %g)", v, bound, bound)
 		}
@@ -242,8 +242,8 @@ func TestTheorem3FixedPoint(t *testing.T) {
 	minP := 0.5
 	m := New(n, dim, xrand.New(3))
 	r := xrand.New(4)
-	for i := range m.Wout.Data {
-		m.Wout.Data[i] = (r.Float64() - 0.5) * 0.1
+	for i := range m.Wout.(*mathx.Matrix).Data {
+		m.Wout.(*mathx.Matrix).Data[i] = (r.Float64() - 0.5) * 0.1
 	}
 	var g Grads
 	for iter := 0; iter < 40000; iter++ {

@@ -124,6 +124,12 @@ type ConfigSpec struct {
 	// worker budget. Never part of the deduplication key (results are
 	// bit-identical at every count).
 	Workers int `json:"workers,omitempty"`
+	// MemoryBudget bounds the resident bytes of the run's training state
+	// (core.Config.MemoryBudget): 0 trains in memory, a positive budget
+	// below the dense 2·|V|·r·8 footprint selects the spill tier. Like
+	// Workers it is an execution knob — never part of the deduplication
+	// key, since results are bit-identical at every budget.
+	MemoryBudget int64 `json:"memoryBudget,omitempty"`
 }
 
 // Validate checks the spec's structural invariants — the ones decidable
@@ -269,6 +275,7 @@ func (c ConfigSpec) CoreConfig() (core.Config, error) {
 	}
 	cfg.Seed = c.Seed
 	cfg.Workers = c.Workers
+	cfg.MemoryBudget = c.MemoryBudget
 	return cfg, nil
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"§15 Out-of-core training state":  "15-out-of-core-training-state",
+		"Quick start":                     "quick-start",
+		"Running a replica set":           "running-a-replica-set",
+		"The `mathx.Mat` interface":       "the-mathxmat-interface",
+		"Budget vs replicas — the choice": "budget-vs-replicas--the-choice",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAnchorsAndLinks(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.md")
+	if err := os.WriteFile(doc, []byte(
+		"# Title\n## One Two\n## One Two\n```\n# not a heading\n[not](a-link.md)\n```\n"+
+			"[ok](#one-two)\n[dup](#one-two-1)\n[other](other.md#target)\n",
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := anchors(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"title", "one-two", "one-two-1"} {
+		if !a[want] {
+			t.Errorf("anchors missing %q: %v", want, a)
+		}
+	}
+	if a["not-a-heading"] {
+		t.Error("heading inside a code fence was indexed")
+	}
+
+	ls, err := links(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []string
+	for _, l := range ls {
+		targets = append(targets, l[1])
+	}
+	want := []string{"#one-two", "#one-two-1", "other.md#target"}
+	if len(targets) != len(want) {
+		t.Fatalf("links = %v, want %v", targets, want)
+	}
+	for i := range want {
+		if targets[i] != want[i] {
+			t.Errorf("link %d = %q, want %q", i, targets[i], want[i])
+		}
+	}
+}

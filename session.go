@@ -206,6 +206,18 @@ func WithWorkers(n int) Option {
 	return func(s *Session) { s.cfg.Workers = n }
 }
 
+// WithMemoryBudget bounds the resident bytes of the run's weight state
+// (Win and Wout together). A positive budget below the dense 2·|V|·r·8
+// footprint moves both matrices onto a file-backed spill tier whose
+// resident window stays within the budget; 0 (the default) trains fully
+// in memory. The result is bit-identical at every budget — like Workers,
+// the budget is an execution knob, never part of the result's identity —
+// but budgets below Config.MinMemoryBudget (an epoch's pinned working
+// set) fail validation at Run. Only the default method supports a budget.
+func WithMemoryBudget(bytes int64) Option {
+	return func(s *Session) { s.cfg.MemoryBudget = bytes }
+}
+
 // WithCache materializes the proximity matrix once, lazily at the first
 // Run, sharded across the session's workers — a large win for row-lazy
 // measures (Katz, PageRank) and for sessions that Run more than once.
